@@ -1,0 +1,94 @@
+// Command graphgen generates benchmark graphs and edge streams as text
+// files consumable by cmd/ingrass.
+//
+//	graphgen -case g2_circuit -scale 1 -out g2.txt
+//	graphgen -case delaunay_n14 -out d14.txt -stream d14_new.txt -stream-count 5000
+//	graphgen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ingrass"
+)
+
+func main() {
+	var (
+		name        = flag.String("case", "", "benchmark name (see -list)")
+		scale       = flag.Float64("scale", 1.0, "size multiplier")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		out         = flag.String("out", "", "output graph file (required unless -list)")
+		stream      = flag.String("stream", "", "optional output file for a new-edge stream")
+		streamCount = flag.Int("stream-count", 0, "stream size (default: 24% of |E|)")
+		local       = flag.Bool("local", false, "draw short-range stream pairs instead of uniform chords")
+		list        = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range ingrass.TestCases() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *name == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := ingrass.Generate(*name, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	if err := g.Write(w); err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: wrote %s (%d nodes, %d edges)\n", *name, *out, g.NumNodes(), g.NumEdges())
+
+	if *stream != "" {
+		count := *streamCount
+		if count <= 0 {
+			count = int(0.24 * float64(g.NumEdges()))
+		}
+		batches, err := ingrass.NewEdgeStream(g, count, 1, *local, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		sf, err := os.Create(*stream)
+		if err != nil {
+			fatal(err)
+		}
+		sw := bufio.NewWriter(sf)
+		for _, b := range batches {
+			for _, e := range b {
+				fmt.Fprintf(sw, "%d %d %.17g\n", e.U, e.V, e.W)
+			}
+		}
+		if err := sw.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := sf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stream: wrote %s (%d edges)\n", *stream, count)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a small graph, sparsify it, stream in new edges
+// incrementally, and watch the sparsifier track the graph's spectrum.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ingrass"
+)
+
+func main() {
+	// A 32x32 grid graph: 1024 nodes, ~2k edges. Think of it as a coarse
+	// power grid or mesh.
+	g, err := ingrass.GeneratePowerGrid(32, 32, 0.05, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	// One-shot sparsification (GRASS-style, from scratch): spanning tree
+	// plus the 10% most spectrally-critical off-tree edges.
+	h, err := ingrass.Sparsify(g, 0.10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := ingrass.ConditionNumber(g, h, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-shot sparsifier: %d edges, kappa(G,H) ~= %.1f\n", h.NumEdges(), k)
+
+	// Incremental mode: the setup phase builds the multilevel resistance
+	// embedding once; after that each new edge costs O(log N).
+	inc, err := ingrass.NewIncremental(g, ingrass.Options{
+		InitialDensity: 0.10,
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream 3 batches of new edges into the graph: local stitching wires,
+	// the typical incremental-change pattern in physical design.
+	stream, err := ingrass.NewEdgeStream(g, 150, 3, true, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, batch := range stream {
+		rep, err := inc.AddEdges(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: %3d new edges -> %2d included, %2d merged, %2d redistributed (density %.1f%%)\n",
+			i+1, rep.Processed, rep.Included, rep.Merged, rep.Redistributed, 100*inc.Density())
+	}
+
+	kAfter, err := ingrass.ConditionNumber(inc.Original(), inc.Sparsifier(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after stream: sparsifier has %d edges, kappa ~= %.1f (target %.1f)\n",
+		inc.Sparsifier().NumEdges(), kAfter, k)
+}

@@ -1,0 +1,144 @@
+package ingrass
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeleteEdgesPublic(t *testing.T) {
+	g := paperFig1Graph(t)
+	inc, err := NewIncremental(g, Options{InitialDensity: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete an edge that exists in G.
+	e, err := g.Edge(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := inc.DeleteEdges([]Edge{{U: e.U, V: e.V}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deleted != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	// Deleting a non-edge errors.
+	if _, err := inc.DeleteEdges([]Edge{{U: 0, V: 10}}); err == nil {
+		// (0,10) is not an edge in a 4x4 grid
+		t.Fatal("expected error for non-edge")
+	}
+	// Compact and keep going.
+	if err := inc.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.AddEdges([]Edge{{U: 0, V: 15, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeletionThenInsertionRoundTrip(t *testing.T) {
+	g, err := GeneratePowerGrid(12, 12, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(g, Options{InitialDensity: 0.15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete a handful of sparsifier edges; H must remain usable for
+	// solves and condition estimation after compaction.
+	h := inc.Sparsifier()
+	var victims []Edge
+	for i := 0; i < 5; i++ {
+		e, err := h.Edge(i * 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims = append(victims, Edge{U: e.U, V: e.V})
+	}
+	if _, err := inc.DeleteEdges(victims); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Sparsifier().IsConnected() {
+		t.Fatal("sparsifier must stay connected after deletions+compaction")
+	}
+	k, err := ConditionNumber(inc.Original(), inc.Sparsifier(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 0 || math.IsInf(k, 0) || math.IsNaN(k) {
+		t.Fatalf("kappa %v", k)
+	}
+}
+
+func TestSolveLaplacianPublic(t *testing.T) {
+	g, err := GeneratePowerGrid(15, 15, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Sparsify(g, 0.15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	b := make([]float64, n)
+	b[0] = 1
+	b[n-1] = -1
+	x, stats, err := SolveLaplacian(g, h, b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged || stats.Iterations == 0 || stats.PrecondUses == 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// The potential drop across the injection pair must be the effective
+	// resistance, which on a connected positive-weight graph is positive
+	// and finite.
+	drop := x[0] - x[n-1]
+	if drop <= 0 || math.IsInf(drop, 0) {
+		t.Fatalf("voltage drop %v", drop)
+	}
+	// Residual check through the public quadratic form identity:
+	// x'(L x) == x' b for the solved system (both mean-zero).
+	q, err := g.QuadraticForm(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xb float64
+	for i := range x {
+		xb += x[i] * b[i]
+	}
+	if math.Abs(q-xb) > 1e-5*math.Abs(xb) {
+		t.Fatalf("energy identity violated: x'Lx=%v x'b=%v", q, xb)
+	}
+}
+
+func TestSolveLaplacianErrors(t *testing.T) {
+	g := paperFig1Graph(t)
+	h, err := Sparsify(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SolveLaplacian(g, h, make([]float64, 3), 0); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+	other := NewGraph(5)
+	if _, _, err := SolveLaplacian(g, other, make([]float64, 16), 0); err == nil {
+		t.Fatal("expected node mismatch error")
+	}
+}
+
+func TestConditionNumberBoundsPublic(t *testing.T) {
+	g := paperFig1Graph(t)
+	lmax, lmin, kappa, err := ConditionNumberBounds(g, g.Clone(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lmax-1) > 0.01 || math.Abs(lmin-1) > 0.01 || math.Abs(kappa-1) > 0.02 {
+		t.Fatalf("identity pencil bounds: %v %v %v", lmax, lmin, kappa)
+	}
+}

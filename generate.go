@@ -1,0 +1,110 @@
+package ingrass
+
+import (
+	"ingrass/internal/gen"
+	"ingrass/internal/graph"
+)
+
+// Generate builds one of the named benchmark graphs (synthetic analogs of
+// the paper's SuiteSparse test cases; see TestCases for names). scale
+// multiplies the default node count: 1.0 is laptop-friendly, the paper's
+// sizes correspond to scale 10-100 for the large meshes.
+func Generate(name string, scale float64, seed uint64) (*Graph, error) {
+	tc, err := gen.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := tc.Build(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// TestCases lists the available benchmark names in Table I order.
+func TestCases() []string {
+	reg := gen.Registry()
+	out := make([]string, len(reg))
+	for i, tc := range reg {
+		out[i] = tc.Name
+	}
+	return out
+}
+
+// GeneratePowerGrid builds a rows x cols power-delivery-network graph with
+// viaFrac*N random inter-layer vias (G2/G3_circuit analog).
+func GeneratePowerGrid(rows, cols int, viaFrac float64, seed uint64) (*Graph, error) {
+	g, err := gen.PowerGrid(rows, cols, viaFrac, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// GenerateTriMesh builds a structured triangular finite-element mesh with
+// grading toward row 0 (grade 1 = uniform).
+func GenerateTriMesh(rows, cols int, grade float64, seed uint64) (*Graph, error) {
+	g, err := gen.TriMesh(rows, cols, grade, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// GenerateDelaunay builds the Delaunay triangulation of n uniform random
+// points in the unit square (delaunay_n* analog).
+func GenerateDelaunay(n int, seed uint64) (*Graph, error) {
+	g, err := gen.Delaunay(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// GenerateBarabasiAlbert builds a preferential-attachment graph with n
+// nodes and m edges per arriving node (social-network analog).
+func GenerateBarabasiAlbert(n, m int, seed uint64) (*Graph, error) {
+	g, err := gen.BarabasiAlbert(n, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// GenerateRandomGeometric builds a random geometric graph: n points in the
+// unit square, edges within the given radius, conductance 1/distance. Large
+// radii produce dense graphs where sparsification pays off most. Only the
+// largest connected component is returned, so the node count may be < n.
+func GenerateRandomGeometric(n int, radius float64, seed uint64) (*Graph, error) {
+	g, err := gen.RandomGeometric(n, radius, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// NewEdgeStream draws count new (non-adjacent, non-duplicate) weighted
+// edges for g, split into batches iterations. local selects short-range
+// pairs (physical-design style) instead of uniform chords.
+func NewEdgeStream(g *Graph, count, batches int, local bool, seed uint64) ([][]Edge, error) {
+	kind := gen.StreamUniform
+	if local {
+		kind = gen.StreamLocal
+	}
+	bs, err := gen.Stream(g.g, gen.StreamConfig{Kind: kind, Count: count, Batches: batches, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Edge, len(bs))
+	for i, b := range bs {
+		out[i] = make([]Edge, len(b))
+		for j, e := range b {
+			out[i][j] = Edge{U: e.U, V: e.V, W: e.W}
+		}
+	}
+	return out, nil
+}
+
+// internalGraph exposes the wrapped graph to the bench harness inside this
+// module without widening the public API.
+func (p *Graph) internalGraph() *graph.Graph { return p.g }

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"ingrass/internal/core"
+	"ingrass/internal/gen"
+	"ingrass/internal/grass"
+)
+
+// Fig4Point is one x-position of the paper's Fig. 4 runtime-scalability
+// plot: total GRASS re-run time vs total inGRASS update time (and the
+// update time including the one-time setup) across the iteration stream.
+type Fig4Point struct {
+	Name   string
+	Nodes  int
+	Edges  int
+	GrassT time.Duration
+	// InGrassT excludes setup; InGrassTotalT includes it (the paper plots
+	// both series).
+	InGrassT      time.Duration
+	InGrassTotalT time.Duration
+	Speedup       float64
+}
+
+// RunFig4 executes the scalability sweep over the given test cases
+// (typically the Delaunay family in increasing size).
+func RunFig4(names []string, p Params) ([]Fig4Point, error) {
+	p = p.WithDefaults()
+	points := make([]Fig4Point, 0, len(names))
+	for _, name := range names {
+		g0, err := buildCase(name, p)
+		if err != nil {
+			return nil, err
+		}
+		e0 := g0.NumEdges()
+		pt := Fig4Point{Name: name, Nodes: g0.NumNodes(), Edges: e0}
+
+		init, err := grass.Sparsify(g0, grassConfig(p.InitialDensity, p.Seed))
+		if err != nil {
+			return nil, err
+		}
+		streamCount := int((p.FinalDensity - p.InitialDensity) * float64(e0))
+		if streamCount < p.Iterations {
+			streamCount = p.Iterations
+		}
+		batches, err := gen.Stream(g0, gen.StreamConfig{
+			Kind:      gen.StreamLocal,
+			HopRadius: 10,
+			WeightHi:  3,
+			Count:     streamCount,
+			Batches:   p.Iterations,
+			Seed:      p.Seed + 0xA3,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// inGRASS: setup once, update per batch.
+		gIn := g0.Clone()
+		hIn := init.H.Clone()
+		var sp *core.Sparsifier
+		setupT, err := timeIt(func() error {
+			sp, err = core.NewSparsifier(gIn, hIn, coreConfig(100, p))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range batches {
+			dt, err := timeIt(func() error {
+				_, err := sp.UpdateBatch(b)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt.InGrassT += dt
+		}
+		pt.InGrassTotalT = pt.InGrassT + setupT
+
+		// GRASS: re-run per batch on the growing graph.
+		gGrass := g0.Clone()
+		for _, b := range batches {
+			for _, e := range b {
+				gGrass.AddEdge(e.U, e.V, e.W)
+			}
+			dt, err := timeIt(func() error {
+				_, err := grass.Sparsify(gGrass, grassConfig(p.InitialDensity, p.Seed))
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt.GrassT += dt
+		}
+		if pt.InGrassT > 0 {
+			pt.Speedup = float64(pt.GrassT) / float64(pt.InGrassT)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FormatFig4 renders the scalability series as an aligned table plus an
+// ASCII log-scale bar chart (the paper's Fig. 4 is a log-scale plot).
+func FormatFig4(points []Fig4Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %12s %12s %14s %8s\n",
+		"Test Case", "|V|", "|E|", "GRASS-T", "inGRASS-T", "inGRASS+setup", "Speedup")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14s %10d %10d %11.3fs %11.4fs %13.3fs %7.1fx\n",
+			p.Name, p.Nodes, p.Edges, p.GrassT.Seconds(), p.InGrassT.Seconds(),
+			p.InGrassTotalT.Seconds(), p.Speedup)
+	}
+	b.WriteString("\nlog10(seconds), each column one test case: G=GRASS, i=inGRASS, +=inGRASS+setup\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14s G %s\n", p.Name, logBar(p.GrassT))
+		fmt.Fprintf(&b, "%-14s i %s\n", "", logBar(p.InGrassT))
+		fmt.Fprintf(&b, "%-14s + %s\n", "", logBar(p.InGrassTotalT))
+	}
+	return b.String()
+}
+
+// logBar renders a duration as a bar of '#' proportional to
+// log10(duration/1ms), clamped to [0, 60] columns.
+func logBar(d time.Duration) string {
+	ms := d.Seconds() * 1000
+	if ms < 1 {
+		ms = 1
+	}
+	n := int(10 * math.Log10(ms))
+	if n < 1 {
+		n = 1
+	}
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("#", n)
+}

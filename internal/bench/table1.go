@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ingrass/internal/core"
+	"ingrass/internal/grass"
+)
+
+// Table1Row compares one GRASS from-scratch sparsification against one
+// inGRASS setup (LRD decomposition + sketch) on the same graph — the
+// paper's Table I.
+type Table1Row struct {
+	Name     string
+	Nodes    int
+	Edges    int
+	GrassT   time.Duration // full sparsification from scratch
+	SetupT   time.Duration // inGRASS one-time setup over H(0)
+	SetupErr string        // non-empty if the setup failed
+}
+
+// RunTable1 executes the Table I experiment for the given test cases.
+func RunTable1(names []string, p Params) ([]Table1Row, error) {
+	p = p.WithDefaults()
+	rows := make([]Table1Row, 0, len(names))
+	for _, name := range names {
+		g, err := buildCase(name, p)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+
+		var init *grass.Result
+		row.GrassT, err = timeIt(func() error {
+			init, err = grass.Sparsify(g, grassConfig(p.InitialDensity, p.Seed))
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: GRASS on %s: %w", name, err)
+		}
+
+		row.SetupT, err = timeIt(func() error {
+			_, err := core.NewSparsifier(g, init.H, coreConfig(100, p))
+			return err
+		})
+		if err != nil {
+			row.SetupErr = err.Error()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows like the paper's Table I.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %12s %12s\n", "Test Case", "|V|", "|E|", "GRASS (s)", "Setup (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d %10d %12.3f %12.3f", r.Name, r.Nodes, r.Edges,
+			r.GrassT.Seconds(), r.SetupT.Seconds())
+		if r.SetupErr != "" {
+			fmt.Fprintf(&b, "  ! %s", r.SetupErr)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

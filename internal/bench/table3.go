@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ingrass/internal/core"
+	"ingrass/internal/gen"
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+)
+
+// Table3Row is one row of the paper's Table III: the G2_circuit-analog
+// robustness study across initial sparsifier densities.
+type Table3Row struct {
+	D0, DFull          float64
+	Kappa0, KappaDrift float64
+	GrassD, InGrassD   float64
+}
+
+// RunTable3 executes the Table III experiment on the named test case
+// (the paper uses the G2_circuit analog) across the given initial
+// densities.
+func RunTable3(name string, initialDensities []float64, p Params) ([]Table3Row, error) {
+	p = p.WithDefaults()
+	g0, err := buildCase(name, p)
+	if err != nil {
+		return nil, err
+	}
+	e0 := g0.NumEdges()
+
+	// One shared stream sized for the paper's 32% full-inclusion density.
+	streamCount := int((p.FinalDensity - 0.02) * float64(e0))
+	batches, err := gen.Stream(g0, gen.StreamConfig{
+		Kind:      gen.StreamLocal,
+		HopRadius: 10,
+		WeightHi:  3,
+		Count:     streamCount,
+		Batches:   p.Iterations,
+		Seed:      p.Seed + 0x91,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gFinal := g0.Clone()
+	for _, b := range batches {
+		for _, e := range b {
+			gFinal.AddEdge(e.U, e.V, e.W)
+		}
+	}
+	eFinal := e0 + streamCount
+
+	rows := make([]Table3Row, 0, len(initialDensities))
+	for _, d0 := range initialDensities {
+		init, err := grass.Sparsify(g0, grassConfig(d0, p.Seed))
+		if err != nil {
+			return nil, err
+		}
+		h0 := init.H
+		row := Table3Row{
+			D0:    graph.OffTreeDensity(h0.NumEdges(), g0.NumNodes(), e0),
+			DFull: graph.OffTreeDensity(h0.NumEdges()+streamCount, g0.NumNodes(), eFinal),
+		}
+		row.Kappa0 = p.kappa(g0, h0)
+		target := row.Kappa0
+		if target <= 0 {
+			target = 100
+		}
+		row.KappaDrift = p.kappa(gFinal, h0)
+
+		// inGRASS updates.
+		gIn := g0.Clone()
+		hIn := h0.Clone()
+		sp, err := core.NewSparsifier(gIn, hIn, coreConfig(target, p))
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range batches {
+			if _, err := sp.UpdateBatch(b); err != nil {
+				return nil, err
+			}
+		}
+		row.InGrassD = graph.OffTreeDensity(hIn.NumEdges(), gIn.NumNodes(), eFinal)
+
+		// GRASS tuned on the final graph.
+		grassD := d0
+		for {
+			res, err := grass.Sparsify(gFinal, grassConfig(grassD, p.Seed))
+			if err != nil {
+				return nil, err
+			}
+			k := p.kappa(gFinal, res.H)
+			if (k > 0 && k <= target*1.05) || grassD >= p.FinalDensity {
+				row.GrassD = graph.OffTreeDensity(res.H.NumEdges(), gFinal.NumNodes(), eFinal)
+				break
+			}
+			grassD *= 1.2
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows like the paper's Table III.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%16s %18s %10s %11s\n", "Density (D)", "kappa(G,H)", "GRASS-D", "inGRASS-D")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6.1f%% -> %4.0f%% %8.0f -> %5.0f %9.1f%% %10.1f%%\n",
+			100*r.D0, 100*r.DFull, r.Kappa0, r.KappaDrift, 100*r.GrassD, 100*r.InGrassD)
+	}
+	return b.String()
+}

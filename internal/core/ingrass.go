@@ -1,0 +1,326 @@
+// Package core implements the inGRASS algorithm (paper Section III): the
+// paper's primary contribution. Given an original graph G(0), its initial
+// sparsifier H(0) (from internal/grass), and a target condition number C,
+// the setup phase builds a multilevel resistance embedding of H(0) via LRD
+// decomposition plus a multilevel cluster-connectivity sketch; the update
+// phase then processes streams of newly inserted edges in O(log N) each:
+//
+//   - Spectral distortion estimation: a new edge's distortion is its
+//     weight times the resistance-diameter bound of the first LRD level at
+//     which its endpoints share a cluster (Eq. 6 with the embedding bound
+//     in place of the exact effective resistance). Batches are processed
+//     in descending distortion order so the most spectrally-critical edges
+//     are considered first.
+//
+//   - Spectral similarity filtering at level L (the deepest level whose
+//     largest cluster has at most C/2 nodes): an edge internal to a level-L
+//     cluster is discarded and its weight redistributed over that cluster's
+//     sparsifier edges; an edge between two clusters already connected in H
+//     is discarded and its weight merged into the existing connecting edge;
+//     everything else is spectrally unique and is appended to H.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/lrd"
+	"ingrass/internal/sketch"
+)
+
+// Config controls a Sparsifier.
+type Config struct {
+	// TargetCond is the desired relative condition number C. It determines
+	// the filtering level; larger C filters more aggressively (coarser
+	// clusters). Default 100.
+	TargetCond float64
+	// LRD configures the setup-phase decomposition.
+	LRD lrd.Config
+	// MaxFilterLevel, if positive, caps the filtering level regardless of
+	// TargetCond (ablation hook).
+	MaxFilterLevel int
+	// DisableWeightTransfer drops the weight of discarded edges instead of
+	// folding it into existing sparsifier edges (ablation hook: transfer
+	// keeps H's total conductance aligned with G's but can overweight
+	// popular regions, trading lambda_min for lambda_max).
+	DisableWeightTransfer bool
+	// Workers parallelizes the batch distortion-estimation pass (the
+	// "parallel-friendly" aspect the paper highlights: per-edge estimates
+	// are independent O(log N) embedding lookups). 0 or 1 = serial.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetCond <= 0 {
+		c.TargetCond = 100
+	}
+	return c
+}
+
+// Action describes what the update phase did with one new edge.
+type Action int
+
+const (
+	// Included: the edge was spectrally unique and was added to H.
+	Included Action = iota
+	// Merged: clusters already connected; weight added to the existing edge.
+	Merged
+	// Redistributed: intra-cluster edge; weight spread over cluster edges.
+	Redistributed
+)
+
+// String renders the action name.
+func (a Action) String() string {
+	switch a {
+	case Included:
+		return "included"
+	case Merged:
+		return "merged"
+	case Redistributed:
+		return "redistributed"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Decision records the handling of one new edge (diagnostics and tests).
+type Decision struct {
+	Edge       graph.Edge
+	Action     Action
+	Distortion float64
+	// Target is the H edge index that received the weight for Merged, or
+	// the new edge's H index for Included, or -1 for Redistributed.
+	Target int
+}
+
+// Stats accumulates update-phase counters across batches.
+type Stats struct {
+	Processed     int
+	Included      int
+	Merged        int
+	Redistributed int
+	// Deleted counts soft-deleted edges; Promoted counts replacement edges
+	// pulled into H after bridge deletions (extension; see delete.go).
+	Deleted  int
+	Promoted int
+}
+
+// Sparsifier is the incremental sparsifier state. It owns both the original
+// graph G (new edges are appended to it) and the sparsifier H.
+type Sparsifier struct {
+	G *graph.Graph
+	H *graph.Graph
+
+	cfg         Config
+	dec         *lrd.Decomposition
+	sk          *sketch.Structure
+	filterLevel int
+	stats       Stats
+
+	scratchIntra []int
+}
+
+// NewSparsifier runs the setup phase over the initial sparsifier h of g.
+// Both graphs must share the node set; h must be connected (a spanning
+// sparsifier), as the paper assumes.
+func NewSparsifier(g, h *graph.Graph, cfg Config) (*Sparsifier, error) {
+	if g.NumNodes() != h.NumNodes() {
+		return nil, fmt.Errorf("core: G has %d nodes, H has %d", g.NumNodes(), h.NumNodes())
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	cfg = cfg.withDefaults()
+	dec, err := lrd.Build(h, cfg.LRD)
+	if err != nil {
+		return nil, fmt.Errorf("core: setup LRD: %w", err)
+	}
+	sk, err := sketch.New(dec, h)
+	if err != nil {
+		return nil, fmt.Errorf("core: setup sketch: %w", err)
+	}
+	s := &Sparsifier{G: g, H: h, cfg: cfg, dec: dec, sk: sk}
+	s.filterLevel = dec.FilterLevel(cfg.TargetCond)
+	if cfg.MaxFilterLevel > 0 && s.filterLevel > cfg.MaxFilterLevel {
+		s.filterLevel = cfg.MaxFilterLevel
+	}
+	return s, nil
+}
+
+// FilterLevel returns the LRD level used by similarity filtering.
+func (s *Sparsifier) FilterLevel() int { return s.filterLevel }
+
+// Decomposition exposes the setup-phase LRD hierarchy (read-only).
+func (s *Sparsifier) Decomposition() *lrd.Decomposition { return s.dec }
+
+// Stats returns accumulated update counters.
+func (s *Sparsifier) Stats() Stats { return s.stats }
+
+// EstimateDistortion returns the spectral-distortion estimate the update
+// phase would assign to a new edge (u, v, w): w times the embedding's
+// resistance bound.
+func (s *Sparsifier) EstimateDistortion(e graph.Edge) float64 {
+	return e.W * s.dec.ResistanceBound(e.U, e.V)
+}
+
+// UpdateBatch processes one iteration of newly introduced edges: appends
+// them all to G, sorts them by estimated spectral distortion (descending),
+// and applies the filtering rules to decide membership in H. It returns the
+// per-edge decisions in processing order.
+//
+// Edges referencing unknown nodes are rejected with an error before any
+// mutation. Edges whose endpoints lie in different components of H(0) are
+// always included (their distortion bound is infinite: nothing in H
+// approximates them).
+func (s *Sparsifier) UpdateBatch(batch []graph.Edge) ([]Decision, error) {
+	n := s.G.NumNodes()
+	for _, e := range batch {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V || !(e.W > 0) {
+			return nil, fmt.Errorf("core: invalid new edge %+v", e)
+		}
+	}
+	// Order by estimated distortion, most critical first (paper III-C1).
+	// Estimates are independent embedding lookups, so large batches fan
+	// out across workers.
+	type scored struct {
+		e graph.Edge
+		d float64
+	}
+	work := make([]scored, len(batch))
+	if w := s.cfg.Workers; w > 1 && len(batch) >= 256 {
+		var wg sync.WaitGroup
+		chunk := (len(batch) + w - 1) / w
+		for k := 0; k < w; k++ {
+			lo := k * chunk
+			if lo >= len(batch) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(batch) {
+				hi = len(batch)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					work[i] = scored{e: batch[i], d: s.EstimateDistortion(batch[i])}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i, e := range batch {
+			work[i] = scored{e: e, d: s.EstimateDistortion(e)}
+		}
+	}
+	sort.SliceStable(work, func(a, b int) bool { return work[a].d > work[b].d })
+
+	decisions := make([]Decision, 0, len(work))
+	for _, it := range work {
+		s.G.AddEdge(it.e.U, it.e.V, it.e.W)
+		d := s.applyOne(it.e, it.d)
+		decisions = append(decisions, d)
+	}
+	return decisions, nil
+}
+
+// applyOne runs the level-L filtering rules for a single new edge.
+func (s *Sparsifier) applyOne(e graph.Edge, distortion float64) Decision {
+	L := s.filterLevel
+	dec := Decision{Edge: e, Distortion: distortion, Target: -1}
+	s.stats.Processed++
+
+	switch {
+	case s.sk.SameCluster(L, e.U, e.V):
+		// Intra-cluster: the sparsifier already connects these nodes well
+		// (resistance bounded by the cluster diameter). Spread the new
+		// conductance proportionally over the cluster's internal edges.
+		s.scratchIntra = s.sk.IntraClusterEdges(L, e.U, s.scratchIntra[:0])
+		if len(s.scratchIntra) == 0 {
+			// Defensive: a multi-node cluster always has internal sparsifier
+			// edges (it was formed by contracting them), but if the
+			// hierarchy was built from a different H, fall back to include.
+			break
+		}
+		if !s.cfg.DisableWeightTransfer {
+			var total float64
+			for _, ei := range s.scratchIntra {
+				total += s.H.Edge(ei).W
+			}
+			if total <= 0 {
+				break
+			}
+			factor := 1 + e.W/total
+			for _, ei := range s.scratchIntra {
+				s.H.ScaleWeight(ei, factor)
+			}
+		}
+		dec.Action = Redistributed
+		s.stats.Redistributed++
+		return dec
+
+	default:
+		if pairEdges := s.sk.PairEdges(L, e.U, e.V); len(pairEdges) > 0 {
+			// Redundant inter-cluster edge: spread the weight across every
+			// sparsifier edge already crossing this cluster pair,
+			// proportionally to their weights. Dumping it all on one
+			// representative would overweight that edge relative to G and
+			// drive the pencil's smallest eigenvalue toward zero.
+			if !s.cfg.DisableWeightTransfer {
+				var total float64
+				for _, ei := range pairEdges {
+					total += s.H.Edge(ei).W
+				}
+				if total <= 0 {
+					break
+				}
+				factor := 1 + e.W/total
+				for _, ei := range pairEdges {
+					s.H.ScaleWeight(ei, factor)
+				}
+			}
+			dec.Action = Merged
+			dec.Target = pairEdges[0]
+			s.stats.Merged++
+			return dec
+		}
+	}
+
+	// Spectrally unique: include in H and index at every level.
+	ei := s.H.AddEdge(e.U, e.V, e.W)
+	s.sk.Register(ei)
+	dec.Action = Included
+	dec.Target = ei
+	s.stats.Included++
+	return dec
+}
+
+// Density returns the current off-tree density of H relative to G
+// (the paper's D measure).
+func (s *Sparsifier) Density() float64 {
+	return graph.OffTreeDensity(s.H.NumEdges(), s.H.NumNodes(), s.G.NumEdges())
+}
+
+// Resparsify rebuilds the setup-phase structures from the CURRENT H. Long
+// streams slowly invalidate the embedding (H's resistances drift as edges
+// accumulate); the paper treats setup as a one-time cost, but a production
+// deployment can periodically amortize a rebuild. Counters are preserved.
+func (s *Sparsifier) Resparsify() error {
+	dec, err := lrd.Build(s.H, s.cfg.LRD)
+	if err != nil {
+		return fmt.Errorf("core: rebuild LRD: %w", err)
+	}
+	sk, err := sketch.New(dec, s.H)
+	if err != nil {
+		return fmt.Errorf("core: rebuild sketch: %w", err)
+	}
+	s.dec = dec
+	s.sk = sk
+	s.filterLevel = dec.FilterLevel(s.cfg.TargetCond)
+	if s.cfg.MaxFilterLevel > 0 && s.filterLevel > s.cfg.MaxFilterLevel {
+		s.filterLevel = s.cfg.MaxFilterLevel
+	}
+	return nil
+}

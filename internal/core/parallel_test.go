@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+	"ingrass/internal/vecmath"
+)
+
+// Parallel distortion estimation must produce identical decisions to the
+// serial path (the estimates are pure functions; only their evaluation is
+// fanned out).
+func TestParallelBatchMatchesSerial(t *testing.T) {
+	g := grid(16, 16)
+	init, err := grass.InitialSparsifier(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(workers int) *Sparsifier {
+		s, err := NewSparsifier(g.Clone(), init.H.Clone(), Config{
+			TargetCond: 60,
+			Workers:    workers,
+			LRD:        lrd.Config{Krylov: krylov.Config{Seed: 2}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial := build(1)
+	parallel := build(8)
+
+	// A batch large enough to trigger the parallel path.
+	r := vecmath.NewRNG(3)
+	var batch []graph.Edge
+	seen := map[uint64]bool{}
+	for len(batch) < 400 {
+		u, v := r.Intn(g.NumNodes()), r.Intn(g.NumNodes())
+		if u == v || g.HasEdge(u, v) || seen[graph.KeyOf(u, v)] {
+			continue
+		}
+		seen[graph.KeyOf(u, v)] = true
+		batch = append(batch, graph.Edge{U: u, V: v, W: r.Range(0.5, 2)})
+	}
+
+	d1, err := serial.UpdateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := parallel.UpdateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("decision counts differ: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i].Edge != d2[i].Edge || d1[i].Action != d2[i].Action ||
+			d1[i].Distortion != d2[i].Distortion {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, d1[i], d2[i])
+		}
+	}
+	if serial.H.NumEdges() != parallel.H.NumEdges() {
+		t.Fatal("resulting sparsifiers differ in size")
+	}
+	if serial.Stats() != parallel.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", serial.Stats(), parallel.Stats())
+	}
+}

@@ -1,0 +1,6 @@
+package gen
+
+import "ingrass/internal/graph"
+
+// G is shorthand for the graph type every generator returns.
+type G = graph.Graph

@@ -1,0 +1,268 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/vecmath"
+)
+
+// Delaunay builds the Delaunay triangulation of n uniform random points in
+// the unit square (delaunay_n* analog) and returns it as a graph whose edge
+// conductances are the reciprocal edge lengths. The triangulator is an
+// incremental Bowyer-Watson with walking point location, O(n log n)
+// expected on shuffled uniform input.
+func Delaunay(n int, seed uint64) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: Delaunay needs n >= 3, got %d", n)
+	}
+	r := vecmath.NewRNG(seed)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i] = r.Float64()
+		py[i] = r.Float64()
+	}
+	tri, err := triangulate(px, py, r)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(n, 3*n)
+	seen := make(map[uint64]bool, 3*n)
+	for _, t := range tri {
+		for k := 0; k < 3; k++ {
+			u, v := t[k], t[(k+1)%3]
+			key := graph.KeyOf(u, v)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			d := math.Hypot(px[u]-px[v], py[u]-py[v])
+			if d < 1e-12 {
+				d = 1e-12
+			}
+			g.AddEdge(u, v, 1/d)
+		}
+	}
+	return g, nil
+}
+
+// triangle is a Bowyer-Watson triangle: CCW vertices and the neighbor
+// across the edge opposite each vertex (neighbor[i] faces edge
+// (v[(i+1)%3], v[(i+2)%3])).
+type triangle struct {
+	v     [3]int
+	n     [3]int
+	alive bool
+}
+
+// orient2d returns twice the signed area of (a,b,c): positive if CCW.
+func orient2d(ax, ay, bx, by, cx, cy float64) float64 {
+	return (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+}
+
+// inCircumcircle reports whether point p lies strictly inside the
+// circumcircle of the CCW triangle (a, b, c).
+func inCircumcircle(ax, ay, bx, by, cx, cy, px, py float64) bool {
+	adx, ady := ax-px, ay-py
+	bdx, bdy := bx-px, by-py
+	cdx, cdy := cx-px, cy-py
+	ad := adx*adx + ady*ady
+	bd := bdx*bdx + bdy*bdy
+	cd := cdx*cdx + cdy*cdy
+	det := adx*(bdy*cd-bd*cdy) - ady*(bdx*cd-bd*cdx) + ad*(bdx*cdy-bdy*cdx)
+	return det > 0
+}
+
+// triangulate runs Bowyer-Watson over the given points and returns the
+// vertex triples of the final triangles (super-triangle removed). The RNG
+// shuffles the insertion order, which keeps both the walk length and the
+// cavity sizes small in expectation.
+func triangulate(px, py []float64, r *vecmath.RNG) ([][3]int, error) {
+	n := len(px)
+	// Append a super-triangle comfortably containing the unit square.
+	const big = 64.0
+	sx := []float64{-big, big, 0.5}
+	sy := []float64{-big, -big, big}
+	x := append(append([]float64{}, px...), sx...)
+	y := append(append([]float64{}, py...), sy...)
+	s0, s1, s2 := n, n+1, n+2
+
+	tris := make([]triangle, 0, 2*n+8)
+	tris = append(tris, triangle{v: [3]int{s0, s1, s2}, n: [3]int{-1, -1, -1}, alive: true})
+	last := 0 // walk start hint
+
+	order := r.Perm(n)
+
+	// locate returns the index of a live triangle containing point p,
+	// walking from the hint. maxSteps guards against cycles from float
+	// degeneracy; on failure fall back to linear scan.
+	locate := func(pxi, pyi float64) int {
+		t := last
+		if !tris[t].alive {
+			for i := len(tris) - 1; i >= 0; i-- {
+				if tris[i].alive {
+					t = i
+					break
+				}
+			}
+		}
+		maxSteps := 4 * (len(tris) + 16)
+		for step := 0; step < maxSteps; step++ {
+			tr := &tris[t]
+			moved := false
+			for k := 0; k < 3; k++ {
+				a := tr.v[(k+1)%3]
+				b := tr.v[(k+2)%3]
+				if orient2d(x[a], y[a], x[b], y[b], pxi, pyi) < 0 {
+					nb := tr.n[k]
+					if nb >= 0 {
+						t = nb
+						moved = true
+						break
+					}
+				}
+			}
+			if !moved {
+				return t
+			}
+		}
+		// Degenerate walk: brute-force scan.
+		for i := range tris {
+			tr := &tris[i]
+			if !tr.alive {
+				continue
+			}
+			inside := true
+			for k := 0; k < 3; k++ {
+				a := tr.v[(k+1)%3]
+				b := tr.v[(k+2)%3]
+				if orient2d(x[a], y[a], x[b], y[b], pxi, pyi) < -1e-12 {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				return i
+			}
+		}
+		return -1
+	}
+
+	cavity := make([]int, 0, 16)
+	inCavity := make(map[int]bool, 16)
+	stack := make([]int, 0, 16)
+
+	for _, p := range order {
+		pxi, pyi := x[p], y[p]
+		t0 := locate(pxi, pyi)
+		if t0 < 0 {
+			return nil, fmt.Errorf("gen: point location failed for point %d", p)
+		}
+
+		// Grow the cavity: all connected triangles whose circumcircle
+		// contains p.
+		cavity = cavity[:0]
+		for k := range inCavity {
+			delete(inCavity, k)
+		}
+		stack = append(stack[:0], t0)
+		inCavity[t0] = true
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cavity = append(cavity, t)
+			for k := 0; k < 3; k++ {
+				nb := tris[t].n[k]
+				if nb < 0 || inCavity[nb] {
+					continue
+				}
+				tv := tris[nb].v
+				if inCircumcircle(x[tv[0]], y[tv[0]], x[tv[1]], y[tv[1]], x[tv[2]], y[tv[2]], pxi, pyi) {
+					inCavity[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+
+		// Boundary edges of the cavity with their outer neighbors.
+		type bedge struct {
+			a, b  int // directed so that cavity interior is on the left
+			outer int
+		}
+		var boundary []bedge
+		for _, t := range cavity {
+			for k := 0; k < 3; k++ {
+				nb := tris[t].n[k]
+				if nb >= 0 && inCavity[nb] {
+					continue
+				}
+				a := tris[t].v[(k+1)%3]
+				b := tris[t].v[(k+2)%3]
+				boundary = append(boundary, bedge{a: a, b: b, outer: nb})
+			}
+		}
+		for _, t := range cavity {
+			tris[t].alive = false
+		}
+
+		// Fan of new triangles (p, a, b) over the boundary. Wire internal
+		// adjacency via the directed-edge map p->a and p->b.
+		edgeOwner := make(map[[2]int]int, 2*len(boundary))
+		firstNew := -1
+		for _, be := range boundary {
+			nt := triangle{v: [3]int{p, be.a, be.b}, n: [3]int{be.outer, -1, -1}, alive: true}
+			ti := len(tris)
+			tris = append(tris, nt)
+			if firstNew < 0 {
+				firstNew = ti
+			}
+			// Fix the outer neighbor's back-pointer for exactly this shared
+			// edge: the outer triangle (CCW) holds it directed as (b, a).
+			if be.outer >= 0 {
+				out := &tris[be.outer]
+				for k := 0; k < 3; k++ {
+					if out.v[(k+1)%3] == be.b && out.v[(k+2)%3] == be.a {
+						out.n[k] = ti
+						break
+					}
+				}
+			}
+			// Internal wiring: the new triangle's edge (p, a) pairs with a
+			// sibling's edge (a, p) = its (p, b) side, and vice versa.
+			if sib, ok := edgeOwner[[2]int{be.a, p}]; ok {
+				// sibling has directed edge (b=a_here): sibling's edge (p,b)
+				// is opposite its vertex index 1 (edge (b,p) faces v[1]=a).
+				tris[ti].n[2] = sib // edge (p,a) is opposite v[2]=b
+				tris[sib].n[1] = ti // sibling's edge (b,p) is opposite v[1]=a
+			} else {
+				edgeOwner[[2]int{p, be.a}] = ti
+			}
+			if sib, ok := edgeOwner[[2]int{p, be.b}]; ok {
+				tris[ti].n[1] = sib
+				tris[sib].n[2] = ti
+			} else {
+				edgeOwner[[2]int{be.b, p}] = ti
+			}
+		}
+		last = firstNew
+	}
+
+	// Collect final triangles, dropping any that touch the super-triangle.
+	out := make([][3]int, 0, 2*n)
+	for i := range tris {
+		t := &tris[i]
+		if !t.alive {
+			continue
+		}
+		if t.v[0] >= n || t.v[1] >= n || t.v[2] >= n {
+			continue
+		}
+		out = append(out, t.v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gen: triangulation produced no interior triangles")
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+// Package gen generates the synthetic benchmark families standing in for
+// the paper's SuiteSparse test cases (the module is offline, so downloading
+// the originals is impossible; DESIGN.md documents the substitution):
+//
+//   - Power-grid graphs (G2_circuit / G3_circuit analogs): 2-D grids with
+//     via stubs and log-uniform conductances, the structure of on-chip
+//     power delivery networks.
+//   - Structured triangular FE meshes (fe_4elt2 / M6 / 333SP / AS365 /
+//     NACA15 analogs), including graded variants, and UV-sphere meshes
+//     (fe_sphere / fe_ocean analogs).
+//   - Delaunay triangulations of uniform random points (delaunay_n*
+//     analogs), built with an incremental Bowyer-Watson triangulator.
+//   - Barabasi-Albert preferential attachment and random geometric graphs
+//     (the "social networks" the abstract mentions).
+//
+// All generators are deterministic in their seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/vecmath"
+)
+
+// PowerGrid builds a rows x cols power-delivery-style grid: nearest
+// neighbor connections with log-uniform conductances in [10^-1, 10^1],
+// plus viaFrac*N random "via" edges connecting nodes a few rows apart
+// (modeling inter-layer stitching). The result is connected.
+func PowerGrid(rows, cols int, viaFrac float64, seed uint64) (*graph.Graph, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("gen: PowerGrid needs at least 2x2, got %dx%d", rows, cols)
+	}
+	r := vecmath.NewRNG(seed)
+	n := rows * cols
+	g := graph.New(n, 2*n+int(viaFrac*float64(n)))
+	id := func(i, j int) int { return i*cols + j }
+	conduct := func() float64 { return math.Pow(10, r.Range(-1, 1)) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				g.AddEdge(id(i, j), id(i, j+1), conduct())
+			}
+			if i+1 < rows {
+				g.AddEdge(id(i, j), id(i+1, j), conduct())
+			}
+		}
+	}
+	vias := int(viaFrac * float64(n))
+	for k := 0; k < vias; k++ {
+		i := r.Intn(rows)
+		j := r.Intn(cols)
+		di := 2 + r.Intn(4) // stitch 2-5 rows away
+		ii := i + di
+		if ii >= rows {
+			ii = i - di
+			if ii < 0 {
+				continue
+			}
+		}
+		u, v := id(i, j), id(ii, j)
+		if u != v && !g.HasEdge(u, v) {
+			// Vias are low-resistance: heavier than average.
+			g.AddEdge(u, v, math.Pow(10, r.Range(0, 1.3)))
+		}
+	}
+	return g, nil
+}
+
+// TriMesh builds a structured triangular mesh on a rows x cols lattice:
+// grid edges plus one diagonal per cell, with conductance inversely
+// proportional to edge length under an optional grading that compresses
+// node spacing toward one side (FE meshes refine near features; grade=1 is
+// uniform, grade>1 refines toward row 0).
+func TriMesh(rows, cols int, grade float64, seed uint64) (*graph.Graph, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("gen: TriMesh needs at least 2x2, got %dx%d", rows, cols)
+	}
+	if grade <= 0 {
+		grade = 1
+	}
+	r := vecmath.NewRNG(seed)
+	n := rows * cols
+	g := graph.New(n, 3*n)
+	id := func(i, j int) int { return i*cols + j }
+	// Node positions with grading along rows.
+	y := make([]float64, rows)
+	for i := range y {
+		t := float64(i) / float64(rows-1)
+		y[i] = math.Pow(t, grade)
+	}
+	pos := func(i, j int) (float64, float64) {
+		return float64(j) / float64(cols-1), y[i]
+	}
+	w := func(u, v int) float64 {
+		ux, uy := pos(u/cols, u%cols)
+		vx, vy := pos(v/cols, v%cols)
+		d := math.Hypot(ux-vx, uy-vy)
+		if d < 1e-9 {
+			d = 1e-9
+		}
+		return 1 / d
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			u := id(i, j)
+			if j+1 < cols {
+				g.AddEdge(u, id(i, j+1), w(u, id(i, j+1)))
+			}
+			if i+1 < rows {
+				g.AddEdge(u, id(i+1, j), w(u, id(i+1, j)))
+			}
+			if i+1 < rows && j+1 < cols {
+				// Alternate the diagonal direction randomly, as unstructured
+				// FE meshes do.
+				if r.Uint64()&1 == 0 {
+					g.AddEdge(u, id(i+1, j+1), w(u, id(i+1, j+1)))
+				} else {
+					g.AddEdge(id(i, j+1), id(i+1, j), w(id(i, j+1), id(i+1, j)))
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// SphereMesh builds a UV-sphere mesh with the given number of latitude
+// rings and longitudinal segments (fe_sphere analog): quad faces split by
+// one diagonal, poles joined to their adjacent ring, conductance 1/chord
+// length.
+func SphereMesh(rings, segments int, seed uint64) (*graph.Graph, error) {
+	if rings < 3 || segments < 3 {
+		return nil, fmt.Errorf("gen: SphereMesh needs rings>=3, segments>=3")
+	}
+	r := vecmath.NewRNG(seed)
+	// Nodes: 2 poles + (rings-1) * segments.
+	n := 2 + (rings-1)*segments
+	g := graph.New(n, 4*n)
+	north, south := 0, 1
+	id := func(ring, seg int) int { return 2 + (ring-1)*segments + (seg%segments+segments)%segments }
+	coord := func(v int) (x, y, z float64) {
+		if v == north {
+			return 0, 0, 1
+		}
+		if v == south {
+			return 0, 0, -1
+		}
+		k := v - 2
+		ring := k/segments + 1
+		seg := k % segments
+		theta := math.Pi * float64(ring) / float64(rings)
+		phi := 2 * math.Pi * float64(seg) / float64(segments)
+		return math.Sin(theta) * math.Cos(phi), math.Sin(theta) * math.Sin(phi), math.Cos(theta)
+	}
+	w := func(u, v int) float64 {
+		ux, uy, uz := coord(u)
+		vx, vy, vz := coord(v)
+		d := math.Sqrt((ux-vx)*(ux-vx) + (uy-vy)*(uy-vy) + (uz-vz)*(uz-vz))
+		if d < 1e-9 {
+			d = 1e-9
+		}
+		return 1 / d
+	}
+	add := func(u, v int) {
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, w(u, v))
+		}
+	}
+	for seg := 0; seg < segments; seg++ {
+		add(north, id(1, seg))
+		add(south, id(rings-1, seg))
+	}
+	for ring := 1; ring < rings; ring++ {
+		for seg := 0; seg < segments; seg++ {
+			add(id(ring, seg), id(ring, seg+1))
+			if ring+1 < rings {
+				add(id(ring, seg), id(ring+1, seg))
+				// Random diagonal, as in TriMesh.
+				if r.Uint64()&1 == 0 {
+					add(id(ring, seg), id(ring+1, seg+1))
+				} else {
+					add(id(ring, seg+1), id(ring+1, seg))
+				}
+			}
+		}
+	}
+	return g, nil
+}

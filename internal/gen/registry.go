@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TestCase is a named benchmark generator mirroring one of the paper's
+// SuiteSparse test cases. Scale multiplies the default node count (Scale 1
+// is laptop-friendly; the paper's sizes correspond to Scale ~100 for the
+// large meshes).
+type TestCase struct {
+	Name string
+	// Family describes the graph class for reporting.
+	Family string
+	// Build generates the graph at the given scale with the given seed.
+	Build func(scale float64, seed uint64) (*G, error)
+}
+
+// Registry returns all named test cases in the order of the paper's
+// Table I.
+func Registry() []TestCase {
+	scaled := func(base int, scale float64) int {
+		v := int(float64(base) * scale)
+		if v < 16 {
+			v = 16
+		}
+		return v
+	}
+	sq := func(n int) int { // side of an n-node square grid
+		s := 1
+		for s*s < n {
+			s++
+		}
+		return s
+	}
+	return []TestCase{
+		{Name: "g3_circuit", Family: "power grid", Build: func(sc float64, seed uint64) (*G, error) {
+			s := sq(scaled(40000, sc))
+			return PowerGrid(s, s, 0.05, seed)
+		}},
+		{Name: "g2_circuit", Family: "power grid", Build: func(sc float64, seed uint64) (*G, error) {
+			s := sq(scaled(10000, sc))
+			return PowerGrid(s, s, 0.05, seed)
+		}},
+		{Name: "fe_4elt2", Family: "FE mesh", Build: func(sc float64, seed uint64) (*G, error) {
+			s := sq(scaled(6400, sc))
+			return TriMesh(s, s, 1.6, seed)
+		}},
+		{Name: "fe_ocean", Family: "FE mesh", Build: func(sc float64, seed uint64) (*G, error) {
+			n := scaled(20000, sc)
+			rings := sq(n)
+			return SphereMesh(rings, rings+1, seed)
+		}},
+		{Name: "fe_sphere", Family: "FE mesh", Build: func(sc float64, seed uint64) (*G, error) {
+			n := scaled(8100, sc)
+			rings := sq(n)
+			return SphereMesh(rings, rings, seed)
+		}},
+		{Name: "delaunay_n14", Family: "Delaunay", Build: func(sc float64, seed uint64) (*G, error) {
+			return Delaunay(scaled(16384, sc), seed)
+		}},
+		{Name: "delaunay_n15", Family: "Delaunay", Build: func(sc float64, seed uint64) (*G, error) {
+			return Delaunay(scaled(32768, sc), seed)
+		}},
+		{Name: "delaunay_n16", Family: "Delaunay", Build: func(sc float64, seed uint64) (*G, error) {
+			return Delaunay(scaled(65536, sc), seed)
+		}},
+		{Name: "delaunay_n17", Family: "Delaunay", Build: func(sc float64, seed uint64) (*G, error) {
+			return Delaunay(scaled(131072, sc), seed)
+		}},
+		{Name: "delaunay_n18", Family: "Delaunay", Build: func(sc float64, seed uint64) (*G, error) {
+			return Delaunay(scaled(262144, sc), seed)
+		}},
+		{Name: "m6", Family: "FE mesh", Build: func(sc float64, seed uint64) (*G, error) {
+			s := sq(scaled(90000, sc))
+			return TriMesh(s, s, 1.0, seed)
+		}},
+		{Name: "333sp", Family: "FE mesh", Build: func(sc float64, seed uint64) (*G, error) {
+			s := sq(scaled(90000, sc))
+			return TriMesh(s, s, 2.2, seed)
+		}},
+		{Name: "as365", Family: "FE mesh", Build: func(sc float64, seed uint64) (*G, error) {
+			s := sq(scaled(95000, sc))
+			return TriMesh(s, s, 1.3, seed)
+		}},
+		{Name: "naca15", Family: "FE mesh", Build: func(sc float64, seed uint64) (*G, error) {
+			s := sq(scaled(25000, sc))
+			return TriMesh(s, s, 3.0, seed)
+		}},
+		{Name: "social_ba", Family: "social network", Build: func(sc float64, seed uint64) (*G, error) {
+			return BarabasiAlbert(scaled(20000, sc), 4, seed)
+		}},
+	}
+}
+
+// Lookup returns the named test case or an error listing valid names.
+func Lookup(name string) (TestCase, error) {
+	for _, tc := range Registry() {
+		if tc.Name == name {
+			return tc, nil
+		}
+	}
+	names := make([]string, 0)
+	for _, tc := range Registry() {
+		names = append(names, tc.Name)
+	}
+	sort.Strings(names)
+	return TestCase{}, fmt.Errorf("gen: unknown test case %q (valid: %v)", name, names)
+}

@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/vecmath"
+)
+
+// BarabasiAlbert builds a preferential-attachment graph with n nodes, each
+// new node attaching m edges to existing nodes with probability
+// proportional to degree (the classic social-network model). Weights are
+// log-uniform in [0.5, 2). The result is connected by construction.
+func BarabasiAlbert(n, m int, seed uint64) (*graph.Graph, error) {
+	if n < 2 || m < 1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n >= 2, m >= 1")
+	}
+	if m >= n {
+		return nil, fmt.Errorf("gen: BarabasiAlbert m=%d must be < n=%d", m, n)
+	}
+	r := vecmath.NewRNG(seed)
+	g := graph.New(n, n*m)
+	// Repeated-node trick: targets drawn uniformly from this list realize
+	// degree-proportional sampling.
+	pool := make([]int, 0, 2*n*m)
+	w := func() float64 { return math.Pow(2, r.Range(-1, 1)) }
+
+	// Seed clique over the first m+1 nodes.
+	for i := 0; i <= m && i < n; i++ {
+		for j := i + 1; j <= m && j < n; j++ {
+			g.AddEdge(i, j, w())
+			pool = append(pool, i, j)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		attached := map[int]bool{}
+		for len(attached) < m {
+			t := pool[r.Intn(len(pool))]
+			if t != v && !attached[t] {
+				attached[t] = true
+			}
+		}
+		// Deterministic insertion order for reproducibility.
+		ts := make([]int, 0, m)
+		for t := range attached {
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		for _, t := range ts {
+			g.AddEdge(v, t, w())
+			pool = append(pool, v, t)
+		}
+	}
+	return g, nil
+}
+
+// RandomGeometric builds a random geometric graph: n points uniform in the
+// unit square, edges between pairs within the given radius, conductance
+// 1/distance. Only the largest connected component is returned (sub-
+// critical radii fragment), so the node count of the result may be < n.
+func RandomGeometric(n int, radius float64, seed uint64) (*graph.Graph, error) {
+	if n < 2 || radius <= 0 {
+		return nil, fmt.Errorf("gen: RandomGeometric needs n >= 2 and radius > 0")
+	}
+	r := vecmath.NewRNG(seed)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	for i := range px {
+		px[i] = r.Float64()
+		py[i] = r.Float64()
+	}
+	// Cell grid for neighbor search.
+	cell := radius
+	cols := int(1/cell) + 1
+	buckets := make(map[int][]int)
+	key := func(cx, cy int) int { return cy*cols + cx }
+	for i := range px {
+		cx, cy := int(px[i]/cell), int(py[i]/cell)
+		buckets[key(cx, cy)] = append(buckets[key(cx, cy)], i)
+	}
+	g := graph.New(n, 4*n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		cx, cy := int(px[i]/cell), int(py[i]/cell)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[key(cx+dx, cy+dy)] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := px[i]-px[j], py[i]-py[j]
+					d2 := ddx*ddx + ddy*ddy
+					if d2 <= r2 && d2 > 0 {
+						g.AddEdge(i, j, 1/math.Sqrt(d2))
+					}
+				}
+			}
+		}
+	}
+	lc, _ := graph.LargestComponent(g)
+	return lc, nil
+}

@@ -1,0 +1,311 @@
+// Package graph implements the weighted undirected graph substrate used by
+// every other package in the repository: a mutable edge-list representation
+// with incremental adjacency, a frozen CSR view for matrix-free Laplacian
+// kernels, union-find, traversals/connectivity, a plain-text interchange
+// format, and summary statistics.
+//
+// Node identifiers are dense integers 0..N-1. Parallel edges are permitted
+// in the mutable representation (the Laplacian treats them as conductances
+// in parallel, i.e. weights add); self-loops are rejected because they do
+// not affect Laplacian quadratic forms.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Edge is a weighted undirected edge between nodes U and V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Canon returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// Key packs the canonical endpoint pair into a single comparable value.
+// It is usable as a map key for edge-identity checks.
+func (e Edge) Key() uint64 {
+	c := e.Canon()
+	return uint64(c.U)<<32 | uint64(uint32(c.V))
+}
+
+// KeyOf returns the canonical pair key for endpoints (u, v).
+func KeyOf(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// Graph is a mutable weighted undirected multigraph over nodes 0..N-1.
+//
+// The zero value is an empty graph with no nodes; use New to preallocate.
+// Edges are stored in insertion order and never reordered, so edge indices
+// returned by AddEdge remain stable for the life of the graph — the
+// sparsifier update machinery relies on that stability to address edges.
+type Graph struct {
+	n     int
+	edges []Edge
+	// adj[u] lists (neighbor, edge index) pairs. Kept in sync by AddEdge.
+	adj [][]Arc
+	// totalWeight caches the sum of all edge weights.
+	totalWeight float64
+}
+
+// Arc is one directed half of an undirected edge as seen from a node's
+// adjacency list.
+type Arc struct {
+	To   int // neighbor node
+	Edge int // index into Edges()
+}
+
+// New returns an empty graph with n nodes and capacity hint edgeCap.
+func New(n int, edgeCap int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{
+		n:     n,
+		edges: make([]Edge, 0, edgeCap),
+		adj:   make([][]Arc, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of edges (parallel edges counted separately).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 { return g.totalWeight }
+
+// Edges returns the edge slice. Callers must not mutate it directly;
+// use SetWeight/ScaleWeight so cached aggregates stay consistent.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Adj returns the adjacency list of node u: one Arc per incident edge.
+func (g *Graph) Adj(u int) []Arc { return g.adj[u] }
+
+// Degree returns the number of incident edges of u (parallel edges counted).
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// WeightedDegree returns the sum of the weights of edges incident to u.
+func (g *Graph) WeightedDegree(u int) float64 {
+	var s float64
+	for _, a := range g.adj[u] {
+		s += g.edges[a.Edge].W
+	}
+	return s
+}
+
+// AddNode appends a new isolated node and returns its identifier.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge inserts the undirected edge (u, v) with weight w and returns its
+// stable edge index. It panics on out-of-range endpoints, self-loops, or
+// non-positive / non-finite weights: every algorithm in this repository
+// assumes a positive conductance model.
+func (g *Graph) AddEdge(u, v int, w float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0, %d)", u, v, g.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d rejected", u))
+	}
+	if !(w > 0) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: edge weight %v must be positive and finite", w))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: idx})
+	g.adj[v] = append(g.adj[v], Arc{To: u, Edge: idx})
+	g.totalWeight += w
+	return idx
+}
+
+// SetWeight replaces the weight of edge i.
+func (g *Graph) SetWeight(i int, w float64) {
+	if !(w > 0) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: edge weight %v must be positive and finite", w))
+	}
+	g.totalWeight += w - g.edges[i].W
+	g.edges[i].W = w
+}
+
+// AddWeight increments the weight of edge i by delta (merging a parallel
+// edge into an existing one). The resulting weight must stay positive.
+func (g *Graph) AddWeight(i int, delta float64) {
+	g.SetWeight(i, g.edges[i].W+delta)
+}
+
+// ScaleWeight multiplies the weight of edge i by factor.
+func (g *Graph) ScaleWeight(i int, factor float64) {
+	g.SetWeight(i, g.edges[i].W*factor)
+}
+
+// FindEdge returns the index of some edge between u and v and true, or
+// (-1, false) if none exists. It scans the shorter adjacency list, so the
+// cost is O(min(deg(u), deg(v))).
+func (g *Graph) FindEdge(u, v int) (int, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return -1, false
+	}
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, arc := range g.adj[a] {
+		if arc.To == b {
+			return arc.Edge, true
+		}
+	}
+	return -1, false
+}
+
+// HasEdge reports whether at least one edge connects u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.FindEdge(u, v)
+	return ok
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n, len(g.edges))
+	c.edges = append(c.edges, g.edges...)
+	for u := range g.adj {
+		c.adj[u] = append([]Arc(nil), g.adj[u]...)
+	}
+	c.totalWeight = g.totalWeight
+	return c
+}
+
+// Subgraph returns a new graph over the same node set containing exactly
+// the edges whose indices appear in keep (in that order).
+func (g *Graph) Subgraph(keep []int) *Graph {
+	s := New(g.n, len(keep))
+	for _, i := range keep {
+		e := g.edges[i]
+		s.AddEdge(e.U, e.V, e.W)
+	}
+	return s
+}
+
+// Coalesce returns a simple graph in which parallel edges have been merged
+// by summing their weights. Edge order follows first occurrence.
+func (g *Graph) Coalesce() *Graph {
+	s := New(g.n, len(g.edges))
+	at := make(map[uint64]int, len(g.edges))
+	for _, e := range g.edges {
+		k := e.Key()
+		if i, ok := at[k]; ok {
+			s.AddWeight(i, e.W)
+			continue
+		}
+		at[k] = s.AddEdge(e.U, e.V, e.W)
+	}
+	return s
+}
+
+// QuadraticForm evaluates x' L x = sum_e w_e (x_u - x_v)^2 without forming
+// the Laplacian. It panics if len(x) != NumNodes().
+func (g *Graph) QuadraticForm(x []float64) float64 {
+	if len(x) != g.n {
+		panic(fmt.Sprintf("graph: QuadraticForm length %d != %d nodes", len(x), g.n))
+	}
+	var s float64
+	for _, e := range g.edges {
+		d := x[e.U] - x[e.V]
+		s += e.W * d * d
+	}
+	return s
+}
+
+// LapMul computes y = L x matrix-free, where L = D - A is the weighted
+// Laplacian. dst and x must have length NumNodes().
+func (g *Graph) LapMul(dst, x []float64) {
+	if len(x) != g.n || len(dst) != g.n {
+		panic("graph: LapMul dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, e := range g.edges {
+		d := e.W * (x[e.U] - x[e.V])
+		dst[e.U] += d
+		dst[e.V] -= d
+	}
+}
+
+// DegreeVector returns the weighted degree of every node (the Laplacian
+// diagonal).
+func (g *Graph) DegreeVector() []float64 {
+	d := make([]float64, g.n)
+	for _, e := range g.edges {
+		d[e.U] += e.W
+		d[e.V] += e.W
+	}
+	return d
+}
+
+// Validate performs internal consistency checks (adjacency mirrors the edge
+// list, cached totals correct) and returns the first problem found. It is
+// meant for tests and debug assertions, not hot paths.
+func (g *Graph) Validate() error {
+	if len(g.adj) != g.n {
+		return fmt.Errorf("graph: %d adjacency lists for %d nodes", len(g.adj), g.n)
+	}
+	var tw float64
+	deg := make([]int, g.n)
+	for i, e := range g.edges {
+		if e.U < 0 || e.U >= g.n || e.V < 0 || e.V >= g.n {
+			return fmt.Errorf("graph: edge %d endpoints (%d,%d) out of range", i, e.U, e.V)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph: edge %d is a self-loop", i)
+		}
+		if !(e.W > 0) {
+			return fmt.Errorf("graph: edge %d weight %v not positive", i, e.W)
+		}
+		tw += e.W
+		deg[e.U]++
+		deg[e.V]++
+	}
+	if math.Abs(tw-g.totalWeight) > 1e-9*(1+math.Abs(tw)) {
+		return fmt.Errorf("graph: cached total weight %v != recomputed %v", g.totalWeight, tw)
+	}
+	for u := range g.adj {
+		if len(g.adj[u]) != deg[u] {
+			return fmt.Errorf("graph: node %d adjacency length %d != degree %d", u, len(g.adj[u]), deg[u])
+		}
+		for _, a := range g.adj[u] {
+			if a.Edge < 0 || a.Edge >= len(g.edges) {
+				return fmt.Errorf("graph: node %d has arc to invalid edge %d", u, a.Edge)
+			}
+			e := g.edges[a.Edge]
+			if (e.U != u || e.V != a.To) && (e.V != u || e.U != a.To) {
+				return fmt.Errorf("graph: node %d arc (%d, edge %d) disagrees with edge (%d,%d)", u, a.To, a.Edge, e.U, e.V)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{N=%d, E=%d, W=%.4g}", g.n, len(g.edges), g.totalWeight)
+}

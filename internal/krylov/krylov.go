@@ -1,0 +1,266 @@
+// Package krylov implements the scalable spectral machinery of the paper's
+// setup phase: Krylov-subspace approximation of Laplacian eigenvectors
+// (paper Eq. 3) used for fast effective-resistance estimation, plus a
+// symmetric Lanczos iteration used for extreme-eigenvalue bounds.
+//
+// The resistance estimator never computes true eigenpairs. It builds an
+// orthonormal basis u~_1..u~_m of the Krylov space of the (degree-
+// normalized) adjacency operator, projects out the constant vector, and
+// evaluates
+//
+//	R(p,q) ~= sum_i (u~_i' b_pq)^2 / (u~_i' L u~_i),
+//
+// which is Eq. (2) with Ritz vectors in place of eigenvectors. Per query
+// the cost is O(m) with m = O(log N).
+package krylov
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/vecmath"
+)
+
+// Config controls resistance-embedding construction.
+type Config struct {
+	// Order m is the Krylov subspace dimension. If 0, a default of
+	// ceil(log2(N)) + 4 clamped to [8, 32] is used.
+	Order int
+	// Starts is the number of independent random start vectors whose Krylov
+	// chains are concatenated before orthonormalization; more starts give a
+	// richer subspace at proportional cost. Default 2.
+	Starts int
+	// Seed drives the deterministic RNG for start vectors.
+	Seed uint64
+	// Workers bounds the goroutines used for batch estimation; 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Order == 0 {
+		m := 4
+		for s := n; s > 1; s >>= 1 {
+			m++
+		}
+		if m < 8 {
+			m = 8
+		}
+		if m > 32 {
+			m = 32
+		}
+		c.Order = m
+	}
+	if c.Starts <= 0 {
+		c.Starts = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Embedding is a per-node coordinate table in which squared Euclidean
+// distance approximates effective resistance:
+//
+//	R(p,q) ~= || coord(p) - coord(q) ||^2.
+//
+// Coordinates are the Ritz vectors scaled by 1/sqrt(Rayleigh quotient).
+type Embedding struct {
+	N    int
+	Dims int
+	// coords is node-major: coords[v*Dims : (v+1)*Dims].
+	coords []float64
+}
+
+// Coord returns node v's embedding row. Callers must not modify it.
+func (e *Embedding) Coord(v int) []float64 {
+	return e.coords[v*e.Dims : (v+1)*e.Dims]
+}
+
+// Resistance returns the embedded resistance estimate between p and q.
+func (e *Embedding) Resistance(p, q int) float64 {
+	if p == q {
+		return 0
+	}
+	cp := e.Coord(p)
+	cq := e.Coord(q)
+	var s float64
+	for i, a := range cp {
+		d := a - cq[i]
+		s += d * d
+	}
+	return s
+}
+
+// EstimateEdges evaluates the resistance estimate for each listed edge in
+// parallel and returns the results in order.
+func (e *Embedding) EstimateEdges(edges []graph.Edge, workers int) []float64 {
+	out := make([]float64, len(edges))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(edges) < 1024 {
+		for i, ed := range edges {
+			out[i] = e.Resistance(ed.U, ed.V)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(edges) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(edges) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.Resistance(edges[i].U, edges[i].V)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// NewEmbedding builds the Krylov resistance embedding of g (paper setup
+// phase 1). g must have at least one node; disconnected graphs are allowed
+// (cross-component estimates are large but finite, which the LRD
+// decomposition tolerates).
+func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("krylov: empty graph")
+	}
+	cfg = cfg.withDefaults(n)
+	csr := graph.NewCSR(g)
+	rng := vecmath.NewRNG(cfg.Seed)
+
+	// Lazy-walk application: dst = (x + D^{-1} A x) / 2. Power iterations
+	// of this operator damp high-frequency (high Laplacian eigenvalue)
+	// components, so the orthonormalized chain approximates the low end of
+	// the Laplacian spectrum - the part that dominates Eq. (2). The lazy
+	// 1/2 step keeps near-(-1) adjacency modes of bipartite graphs from
+	// surviving the iteration.
+	invDeg := make([]float64, n)
+	for i, d := range csr.Degree {
+		if d > 0 {
+			invDeg[i] = 1 / d
+		}
+	}
+	apply := func(dst, x []float64) {
+		csr.AdjMul(dst, x)
+		for i := range dst {
+			dst[i] = 0.5 * (x[i] + dst[i]*invDeg[i])
+		}
+	}
+
+	perStart := (cfg.Order + cfg.Starts - 1) / cfg.Starts
+	raw := make([][]float64, 0, cfg.Starts*perStart)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for s := 0; s < cfg.Starts; s++ {
+		// A Rademacher draw can be constant on tiny graphs, which the
+		// ones-projection annihilates; retry a few times before giving up
+		// on this start.
+		ok := false
+		for attempt := 0; attempt < 8; attempt++ {
+			rng.FillRademacher(cur)
+			vecmath.ProjectOutOnes(cur)
+			if vecmath.Normalize(cur) > 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for k := 0; k < perStart; k++ {
+			raw = append(raw, append([]float64(nil), cur...))
+			apply(next, cur)
+			vecmath.ProjectOutOnes(next)
+			if vecmath.Normalize(next) == 0 {
+				break // chain collapsed (tiny graph)
+			}
+			cur, next = next, cur
+		}
+	}
+
+	basis := vecmath.OrthonormalizeMGS(raw, 1e-9)
+	if len(basis) == 0 && n >= 2 {
+		// Deterministic fallback for degenerate tiny inputs: mean-centered
+		// coordinate vectors span the whole complement of ones.
+		lim := cfg.Order
+		if lim > n-1 {
+			lim = n - 1
+		}
+		raw = raw[:0]
+		for i := 0; i < lim; i++ {
+			v := make([]float64, n)
+			v[i] = 1
+			vecmath.ProjectOutOnes(v)
+			raw = append(raw, v)
+		}
+		basis = vecmath.OrthonormalizeMGS(raw, 1e-9)
+	}
+	if len(basis) == 0 {
+		return nil, fmt.Errorf("krylov: subspace collapsed (graph too small or degenerate)")
+	}
+
+	// Rayleigh-Ritz: project L into the subspace, T = Q' L Q, and
+	// eigendecompose the small matrix. The Ritz pairs (theta_i, Q y_i) are
+	// the subspace's best approximations to Laplacian eigenpairs, which is
+	// what Eq. (2) actually consumes; using raw chain vectors instead
+	// makes the sum basis-dependent and meaningless.
+	m := len(basis)
+	lq := make([][]float64, m)
+	for j, q := range basis {
+		lq[j] = make([]float64, n)
+		csr.LapMul(lq[j], q)
+	}
+	t := vecmath.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			v := vecmath.Dot(basis[i], lq[j])
+			t.Set(i, j, v)
+			t.Set(j, i, v)
+		}
+	}
+	theta, y, err := vecmath.SymEig(t)
+	if err != nil {
+		return nil, fmt.Errorf("krylov: Rayleigh-Ritz eigensolve: %w", err)
+	}
+
+	// Node-major coordinate table: coords[v][i] = (Q y_i)[v] / sqrt(theta_i).
+	// Ritz values at numerical zero are null-space remnants and are skipped.
+	coords := make([]float64, n*m)
+	dims := m
+	for i := 0; i < m; i++ {
+		th := theta[i]
+		if th <= 1e-12 {
+			continue
+		}
+		scale := 1 / math.Sqrt(th)
+		for j := 0; j < m; j++ {
+			yji := y.At(j, i)
+			if yji == 0 {
+				continue
+			}
+			qj := basis[j]
+			c := yji * scale
+			for v := 0; v < n; v++ {
+				coords[v*dims+i] += c * qj[v]
+			}
+		}
+	}
+	return &Embedding{N: n, Dims: dims, coords: coords}, nil
+}

@@ -1,0 +1,91 @@
+package krylov
+
+import (
+	"fmt"
+
+	"ingrass/internal/sparse"
+	"ingrass/internal/vecmath"
+)
+
+// LanczosResult holds the tridiagonal reduction produced by the Lanczos
+// iteration and the derived Ritz values.
+type LanczosResult struct {
+	Alpha []float64 // diagonal of T, len k
+	Beta  []float64 // off-diagonal of T, len k-1
+	Ritz  []float64 // eigenvalues of T, ascending
+}
+
+// Lanczos runs k steps of the symmetric Lanczos iteration on op with full
+// reorthogonalization (stable for the modest k used here), starting from a
+// random vector orthogonal to the all-ones direction. The extreme Ritz
+// values bound the extreme eigenvalues of op restricted to that subspace
+// and converge to them rapidly; they feed the condition-number estimator.
+func Lanczos(op sparse.Operator, k int, seed uint64) (*LanczosResult, error) {
+	n := op.Dim()
+	if k <= 0 {
+		return nil, fmt.Errorf("krylov: Lanczos order %d must be positive", k)
+	}
+	if k > n {
+		k = n
+	}
+	rng := vecmath.NewRNG(seed)
+
+	v := make([]float64, n)
+	rng.FillNormal(v)
+	vecmath.ProjectOutOnes(v)
+	if vecmath.Normalize(v) == 0 {
+		return nil, fmt.Errorf("krylov: start vector collapsed")
+	}
+
+	basis := make([][]float64, 0, k)
+	alpha := make([]float64, 0, k)
+	beta := make([]float64, 0, k)
+	w := make([]float64, n)
+
+	for j := 0; j < k; j++ {
+		basis = append(basis, append([]float64(nil), v...))
+		op.Apply(w, v)
+		a := vecmath.Dot(v, w)
+		alpha = append(alpha, a)
+		// w -= a*v + beta_{j-1} * v_{j-1}; then full reorthogonalization.
+		vecmath.AXPY(w, -a, v)
+		if j > 0 {
+			vecmath.AXPY(w, -beta[j-1], basis[j-1])
+		}
+		for _, u := range basis {
+			vecmath.ProjectOut(w, u)
+		}
+		vecmath.ProjectOutOnes(w)
+		b := vecmath.Normalize(w)
+		if b < 1e-12 {
+			break // invariant subspace found
+		}
+		if j < k-1 {
+			beta = append(beta, b)
+		}
+		copy(v, w)
+	}
+
+	m := len(alpha)
+	t := vecmath.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		t.Set(i, i, alpha[i])
+		if i+1 < m && i < len(beta) {
+			t.Set(i, i+1, beta[i])
+			t.Set(i+1, i, beta[i])
+		}
+	}
+	vals, _, err := vecmath.SymEig(t)
+	if err != nil {
+		return nil, err
+	}
+	return &LanczosResult{Alpha: alpha, Beta: beta, Ritz: vals}, nil
+}
+
+// ExtremeRitz returns the smallest and largest Ritz values.
+func (r *LanczosResult) ExtremeRitz() (lo, hi float64) {
+	if len(r.Ritz) == 0 {
+		return 0, 0
+	}
+	return r.Ritz[0], r.Ritz[len(r.Ritz)-1]
+}

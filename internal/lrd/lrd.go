@@ -1,0 +1,326 @@
+// Package lrd implements the multilevel low-resistance-diameter (LRD)
+// decomposition at the heart of inGRASS's setup phase (paper Section
+// III-B2, following the HyperEF clustering of Aghdaei & Feng).
+//
+// Starting from singleton clusters, each level estimates the effective
+// resistance of the current (contracted) sparsifier's edges with the Krylov
+// embedding, then contracts edges in ascending-resistance order as long as
+// the merged cluster's resistance diameter stays within the level's budget.
+// Contracted clusters become supernodes of the next level and the budget
+// grows geometrically, so after O(log N) levels every connected component
+// is a single cluster. Recording each node's cluster index at every level
+// yields the O(log N)-dimensional resistance embedding: the resistance
+// between any two nodes is bounded by the diameter of the first cluster
+// they share.
+package lrd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/krylov"
+)
+
+// Config controls the decomposition.
+type Config struct {
+	// InitialDiameter is the resistance-diameter budget of level 1.
+	// 0 means automatic: twice the median estimated edge resistance.
+	InitialDiameter float64
+	// Growth multiplies the budget per level. Default 2.
+	Growth float64
+	// MaxLevels bounds the hierarchy depth. Default ceil(log2 N) + 2.
+	// The final level always merges whole connected components so that
+	// every connected pair shares a cluster somewhere in the hierarchy.
+	MaxLevels int
+	// Krylov configures resistance estimation at each level.
+	Krylov krylov.Config
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Growth <= 1 {
+		c.Growth = 2
+	}
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = 2
+		for s := n; s > 1; s >>= 1 {
+			c.MaxLevels++
+		}
+	}
+	return c
+}
+
+// Decomposition is the multilevel clustering result. Level 0 is the
+// singleton level (every node its own cluster with diameter 0); level
+// Levels-1 merges whole connected components.
+type Decomposition struct {
+	N      int
+	Levels int
+	// clusterID[l][v] is node v's cluster index at level l. Cluster indices
+	// at each level are dense in [0, NumClusters[l]).
+	clusterID [][]int32
+	// NumClusters[l] is the cluster count at level l.
+	NumClusters []int
+	// Diameter[l][c] is the tracked resistance-diameter upper bound of
+	// cluster c at level l.
+	Diameter [][]float64
+	// Budget[l] is the diameter budget that produced level l (0 for level 0,
+	// +Inf for the final component level).
+	Budget []float64
+	// ClusterSize[l][c] is the node count of cluster c at level l.
+	ClusterSize [][]int32
+	// MaxClusterSize[l] caches max over ClusterSize[l].
+	MaxClusterSize []int
+}
+
+// ClusterID returns node v's cluster index at level l.
+func (d *Decomposition) ClusterID(l, v int) int32 { return d.clusterID[l][v] }
+
+// EmbeddingVector returns the per-level cluster indices of node v — the
+// node's resistance-embedding vector from the paper's Fig. 2.
+func (d *Decomposition) EmbeddingVector(v int) []int32 {
+	out := make([]int32, d.Levels)
+	for l := 0; l < d.Levels; l++ {
+		out[l] = d.clusterID[l][v]
+	}
+	return out
+}
+
+// SharedLevel returns the lowest level at which p and q belong to the same
+// cluster, or -1 if they never do (different connected components).
+func (d *Decomposition) SharedLevel(p, q int) int {
+	if p == q {
+		return 0
+	}
+	for l := 1; l < d.Levels; l++ {
+		if d.clusterID[l][p] == d.clusterID[l][q] {
+			return l
+		}
+	}
+	return -1
+}
+
+// ResistanceBound returns the upper bound on the effective resistance
+// between p and q implied by the hierarchy: the tracked diameter of the
+// first shared cluster. It returns +Inf for disconnected pairs.
+func (d *Decomposition) ResistanceBound(p, q int) float64 {
+	l := d.SharedLevel(p, q)
+	switch {
+	case l < 0:
+		return math.Inf(1)
+	case l == 0:
+		return 0
+	default:
+		return d.Diameter[l][d.clusterID[l][p]]
+	}
+}
+
+// FilterLevel selects the update-phase filtering level for a target
+// condition number C: the deepest level whose largest cluster has at most
+// C/2 nodes (paper Section III-C2). It always returns at least level 1 so
+// filtering has non-trivial clusters to work with.
+func (d *Decomposition) FilterLevel(targetCond float64) int {
+	limit := targetCond / 2
+	best := 1
+	for l := 1; l < d.Levels; l++ {
+		if float64(d.MaxClusterSize[l]) <= limit {
+			best = l
+		}
+	}
+	return best
+}
+
+// Build runs the decomposition on the sparsifier h. h should be connected
+// for the hierarchy to terminate at a single cluster; disconnected inputs
+// produce one top-level cluster per component.
+func Build(h *graph.Graph, cfg Config) (*Decomposition, error) {
+	n := h.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("lrd: empty graph")
+	}
+	cfg = cfg.withDefaults(n)
+
+	d := &Decomposition{N: n}
+	// Level 0: singletons.
+	lvl0 := make([]int32, n)
+	for i := range lvl0 {
+		lvl0[i] = int32(i)
+	}
+	size0 := make([]int32, n)
+	for i := range size0 {
+		size0[i] = 1
+	}
+	d.clusterID = append(d.clusterID, lvl0)
+	d.NumClusters = append(d.NumClusters, n)
+	d.Diameter = append(d.Diameter, make([]float64, n))
+	d.Budget = append(d.Budget, 0)
+	d.ClusterSize = append(d.ClusterSize, size0)
+	d.MaxClusterSize = append(d.MaxClusterSize, 1)
+
+	// The contracted graph at the current top level, plus each supernode's
+	// carried diameter and node count.
+	cur := h
+	carriedDiam := make([]float64, n)
+	carriedSize := make([]int32, n)
+	for i := range carriedSize {
+		carriedSize[i] = 1
+	}
+
+	budget := cfg.InitialDiameter
+	seed := cfg.Krylov.Seed
+
+	for level := 1; ; level++ {
+		if cur.NumNodes() <= 1 {
+			break
+		}
+		final := level >= cfg.MaxLevels
+		var resist []float64
+		if final {
+			budget = math.Inf(1)
+			resist = make([]float64, cur.NumEdges())
+		} else {
+			kcfg := cfg.Krylov
+			kcfg.Seed = seed + uint64(level)*0x9e37
+			emb, err := krylov.NewEmbedding(cur, kcfg)
+			if err != nil {
+				return nil, fmt.Errorf("lrd: level %d embedding: %w", level, err)
+			}
+			resist = emb.EstimateEdges(cur.Edges(), kcfg.Workers)
+			if budget == 0 {
+				budget = 2 * median(resist)
+				if budget <= 0 {
+					budget = 1
+				}
+			}
+		}
+
+		order := make([]int, cur.NumEdges())
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return resist[order[a]] < resist[order[b]] })
+
+		uf := graph.NewUnionFind(cur.NumNodes())
+		diam := append([]float64(nil), carriedDiam...)
+		merged := false
+		for _, ei := range order {
+			e := cur.Edge(ei)
+			ru, rv := uf.Find(e.U), uf.Find(e.V)
+			if ru == rv {
+				continue
+			}
+			nd := diam[ru] + diam[rv] + resist[ei]
+			if !final && nd > budget {
+				continue
+			}
+			uf.Union(ru, rv)
+			diam[uf.Find(ru)] = nd
+			merged = true
+		}
+
+		// Dense-renumber the new clusters.
+		repTo := make(map[int]int32, cur.NumNodes())
+		newID := make([]int32, cur.NumNodes())
+		var count int32
+		for v := 0; v < cur.NumNodes(); v++ {
+			r := uf.Find(v)
+			id, ok := repTo[r]
+			if !ok {
+				id = count
+				count++
+				repTo[r] = id
+			}
+			newID[v] = id
+		}
+
+		// Cluster diameters, sizes in the dense numbering.
+		newDiam := make([]float64, count)
+		newSize := make([]int32, count)
+		for v := 0; v < cur.NumNodes(); v++ {
+			r := uf.Find(v)
+			newDiam[newID[v]] = diam[r]
+			newSize[newID[v]] += carriedSize[v]
+		}
+		maxSize := 0
+		for _, s := range newSize {
+			if int(s) > maxSize {
+				maxSize = int(s)
+			}
+		}
+
+		// Per-node cluster ids at this level: compose previous level's map.
+		prev := d.clusterID[len(d.clusterID)-1]
+		lvl := make([]int32, n)
+		for v := 0; v < n; v++ {
+			lvl[v] = newID[prev[v]]
+		}
+		d.clusterID = append(d.clusterID, lvl)
+		d.NumClusters = append(d.NumClusters, int(count))
+		d.Diameter = append(d.Diameter, newDiam)
+		d.Budget = append(d.Budget, budget)
+		d.ClusterSize = append(d.ClusterSize, newSize)
+		d.MaxClusterSize = append(d.MaxClusterSize, maxSize)
+
+		if int(count) == 1 || final {
+			break
+		}
+		if !merged {
+			// Budget too small to merge anything: grow it and retry at the
+			// next level (the level we just appended is a no-op copy, which
+			// keeps Budget/level bookkeeping aligned).
+			budget *= cfg.Growth
+			// Avoid unbounded identical levels: jump straight to the
+			// smallest merging cost next time.
+			if len(order) > 0 {
+				minCost := math.Inf(1)
+				for _, ei := range order {
+					e := cur.Edge(ei)
+					if uf.Find(e.U) != uf.Find(e.V) {
+						c := resist[ei]
+						if c < minCost {
+							minCost = c
+						}
+					}
+				}
+				if !math.IsInf(minCost, 1) && budget < minCost {
+					budget = minCost * 1.01
+				}
+			}
+			continue
+		}
+
+		// Contract: build the next-level supergraph with aggregated edge
+		// weights (parallel conductances add).
+		next := graph.New(int(count), cur.NumEdges()/2)
+		agg := make(map[uint64]int, cur.NumEdges()/2)
+		for _, e := range cur.Edges() {
+			cu, cv := newID[e.U], newID[e.V]
+			if cu == cv {
+				continue
+			}
+			k := graph.KeyOf(int(cu), int(cv))
+			if i, ok := agg[k]; ok {
+				next.AddWeight(i, e.W)
+			} else {
+				agg[k] = next.AddEdge(int(cu), int(cv), e.W)
+			}
+		}
+		cur = next
+		carriedDiam = newDiam
+		carriedSize = newSize
+		budget *= cfg.Growth
+	}
+
+	d.Levels = len(d.clusterID)
+	return d, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,160 @@
+package lrd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/krylov"
+	"ingrass/internal/vecmath"
+)
+
+// randomConnected builds a reproducible connected weighted graph.
+func randomConnected(seed uint64, n, extra int) *graph.Graph {
+	r := vecmath.NewRNG(seed)
+	g := graph.New(n, n+extra)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[r.Intn(i)], r.Range(0.1, 10))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, r.Range(0.1, 10))
+		}
+	}
+	return g
+}
+
+// Property: the hierarchy is laminar — clusters at level l+1 are unions of
+// clusters at level l — and cluster counts weakly decrease.
+func TestHierarchyLaminarProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(seed, 40, 60)
+		d, err := Build(g, Config{Krylov: krylov.Config{Seed: seed}})
+		if err != nil {
+			return false
+		}
+		for l := 0; l+1 < d.Levels; l++ {
+			if d.NumClusters[l+1] > d.NumClusters[l] {
+				return false
+			}
+			// Laminar: same cluster at l implies same at l+1. Check via a
+			// map from level-l cluster to its level-(l+1) parent.
+			parent := make(map[int32]int32)
+			for v := 0; v < d.N; v++ {
+				c := d.ClusterID(l, v)
+				p, ok := parent[c]
+				if !ok {
+					parent[c] = d.ClusterID(l+1, v)
+				} else if p != d.ClusterID(l+1, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every connected pair shares a cluster at the top level, and the
+// resistance bound is finite, positive, and symmetric.
+func TestResistanceBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(seed, 30, 40)
+		d, err := Build(g, Config{Krylov: krylov.Config{Seed: seed}})
+		if err != nil {
+			return false
+		}
+		r := vecmath.NewRNG(seed ^ 0x123)
+		for k := 0; k < 30; k++ {
+			p, q := r.Intn(30), r.Intn(30)
+			if p == q {
+				if d.ResistanceBound(p, q) != 0 {
+					return false
+				}
+				continue
+			}
+			b1 := d.ResistanceBound(p, q)
+			b2 := d.ResistanceBound(q, p)
+			if b1 != b2 || b1 <= 0 || b1 != b1 /* NaN */ {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cluster sizes at every level sum to N and match the dense
+// renumbering (ids in [0, NumClusters)).
+func TestClusterAccountingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(seed, 25, 30)
+		d, err := Build(g, Config{Krylov: krylov.Config{Seed: seed}})
+		if err != nil {
+			return false
+		}
+		for l := 0; l < d.Levels; l++ {
+			var sum int32
+			for _, s := range d.ClusterSize[l] {
+				if s <= 0 {
+					return false
+				}
+				sum += s
+			}
+			if int(sum) != d.N {
+				return false
+			}
+			for v := 0; v < d.N; v++ {
+				c := d.ClusterID(l, v)
+				if c < 0 || int(c) >= d.NumClusters[l] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SharedLevel is consistent with ClusterID, i.e. it is the first
+// level where the ids coincide.
+func TestSharedLevelConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(seed, 20, 25)
+		d, err := Build(g, Config{Krylov: krylov.Config{Seed: seed}})
+		if err != nil {
+			return false
+		}
+		r := vecmath.NewRNG(seed ^ 0x456)
+		for k := 0; k < 20; k++ {
+			p, q := r.Intn(20), r.Intn(20)
+			if p == q {
+				continue
+			}
+			l := d.SharedLevel(p, q)
+			if l < 0 {
+				return false // connected graph: must share eventually
+			}
+			if d.ClusterID(l, p) != d.ClusterID(l, q) {
+				return false
+			}
+			for ll := 1; ll < l; ll++ {
+				if d.ClusterID(ll, p) == d.ClusterID(ll, q) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

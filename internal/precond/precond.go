@@ -1,0 +1,92 @@
+// Package precond turns a spectral sparsifier into a preconditioner for
+// Laplacian solves — the application that motivates the whole GRASS line:
+// solving L_G x = b with conjugate gradients preconditioned by (inexact)
+// solves of the much sparser L_H converges in O(sqrt(kappa(L_G, L_H)))
+// outer iterations, and a good sparsifier keeps that kappa small while the
+// inner solves stay cheap.
+//
+// The preconditioner runs a truncated Jacobi-PCG on the sparsifier per
+// application, so it is mildly nonlinear; use it with sparse.FlexibleCG.
+package precond
+
+import (
+	"fmt"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/sparse"
+	"ingrass/internal/vecmath"
+)
+
+// Sparsifier is a Laplacian preconditioner backed by a sparsifier graph.
+type Sparsifier struct {
+	solver *sparse.LaplacianSolver
+	// Applications counts preconditioner invocations.
+	Applications int
+}
+
+// Options configures the inner (sparsifier) solve per application.
+type Options struct {
+	// InnerIters caps the inner PCG iterations per application. Small
+	// values (10-40) are typical: the preconditioner only needs to capture
+	// the sparsifier's action approximately. Default 25.
+	InnerIters int
+	// InnerTol is the inner relative-residual target. Default 1e-2 — the
+	// outer FCG tolerates loose inner solves.
+	InnerTol float64
+	// Workers parallelizes the inner Laplacian products.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.InnerIters <= 0 {
+		o.InnerIters = 25
+	}
+	if o.InnerTol <= 0 {
+		o.InnerTol = 1e-2
+	}
+	return o
+}
+
+// New builds a preconditioner from the sparsifier h (which must span the
+// node set of the system's graph and be connected).
+func New(h *graph.Graph, opts Options) (*Sparsifier, error) {
+	if h.NumNodes() == 0 {
+		return nil, fmt.Errorf("precond: empty sparsifier")
+	}
+	o := opts.withDefaults()
+	s := sparse.NewLaplacianSolver(h, &sparse.CGOptions{
+		Tol:     o.InnerTol,
+		MaxIter: o.InnerIters,
+	}, o.Workers)
+	return &Sparsifier{solver: s}, nil
+}
+
+// Apply computes dst ~= L_H^+ src (mean-centered). Convergence failures of
+// the truncated inner solve are expected and benign: the partial iterate is
+// still an SPD-like contraction that FlexibleCG accepts.
+func (p *Sparsifier) Apply(dst, src []float64) {
+	p.Applications++
+	_, _ = p.solver.Solve(dst, src)
+}
+
+// SolveResult reports a preconditioned solve.
+type SolveResult struct {
+	Outer     sparse.CGResult
+	InnerUses int
+}
+
+// Solve runs FlexibleCG on L_G x = b with this preconditioner. b is
+// mean-centered internally (Laplacian systems are only consistent on the
+// complement of ones); the solution is mean-zero.
+func (p *Sparsifier) Solve(g *graph.Graph, x, b []float64, opts *sparse.CGOptions) (SolveResult, error) {
+	op := &sparse.ProjectedOperator{Inner: sparse.NewLapOperator(g)}
+	rhs := append([]float64(nil), b...)
+	vecmath.CenterMean(rhs)
+	vecmath.Zero(x)
+	before := p.Applications
+	res, err := sparse.FlexibleCG(op, x, rhs, func(dst, src []float64) {
+		p.Apply(dst, src)
+	}, opts)
+	vecmath.CenterMean(x)
+	return SolveResult{Outer: res, InnerUses: p.Applications - before}, err
+}

@@ -1,0 +1,155 @@
+package precond
+
+import (
+	"testing"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+	"ingrass/internal/sparse"
+	"ingrass/internal/vecmath"
+)
+
+func grid(r, c int) *graph.Graph {
+	g := graph.New(r*c, 2*r*c)
+	id := func(i, j int) int { return i*c + j }
+	rng := vecmath.NewRNG(9)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1), rng.Range(0.2, 5))
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j), rng.Range(0.2, 5))
+			}
+		}
+	}
+	return g
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(graph.New(0, 0), Options{}); err == nil {
+		t.Fatal("expected empty-sparsifier error")
+	}
+}
+
+func TestSolveCorrectness(t *testing.T) {
+	g := grid(15, 15)
+	init, err := grass.InitialSparsifier(g, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(init.H, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	b := make([]float64, n)
+	vecmath.NewRNG(2).FillNormal(b)
+	vecmath.CenterMean(b)
+	x := make([]float64, n)
+	res, err := p.Solve(g, x, b, &sparse.CGOptions{Tol: 1e-9, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outer.Converged {
+		t.Fatalf("no convergence: %+v", res)
+	}
+	// Verify the residual directly.
+	lx := make([]float64, n)
+	g.LapMul(lx, x)
+	vecmath.Sub(lx, lx, b)
+	if vecmath.Norm2(lx) > 1e-7*vecmath.Norm2(b) {
+		t.Fatalf("residual %v", vecmath.Norm2(lx))
+	}
+	if res.InnerUses == 0 || p.Applications == 0 {
+		t.Fatal("preconditioner never used")
+	}
+}
+
+func TestSparsifierPrecondBeatsJacobi(t *testing.T) {
+	// On a heterogeneous grid, the sparsifier preconditioner should cut
+	// outer iterations versus Jacobi alone — the whole point of spectral
+	// sparsification.
+	g := grid(25, 25)
+	init, err := grass.InitialSparsifier(g, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	b := make([]float64, n)
+	vecmath.NewRNG(3).FillNormal(b)
+	vecmath.CenterMean(b)
+
+	// Jacobi-PCG baseline.
+	lop := sparse.NewLapOperator(g)
+	proj := &sparse.ProjectedOperator{Inner: lop}
+	xJ := make([]float64, n)
+	resJ, err := sparse.CG(proj, xJ, b, &sparse.CGOptions{
+		Tol: 1e-8, MaxIter: 5000, Precond: sparse.JacobiPrecond(lop.Diagonal()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sparsifier-preconditioned FCG.
+	p, err := New(init.H, Options{InnerIters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xS := make([]float64, n)
+	resS, err := p.Solve(g, xS, b, &sparse.CGOptions{Tol: 1e-8, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resS.Outer.Iterations >= resJ.Iterations {
+		t.Fatalf("sparsifier precond did not reduce outer iterations: %d vs %d",
+			resS.Outer.Iterations, resJ.Iterations)
+	}
+}
+
+func TestFlexibleCGZeroRHS(t *testing.T) {
+	g := grid(4, 4)
+	op := &sparse.ProjectedOperator{Inner: sparse.NewLapOperator(g)}
+	x := make([]float64, g.NumNodes())
+	vecmath.Fill(x, 3)
+	res, err := sparse.FlexibleCG(op, x, make([]float64, g.NumNodes()), nil, nil)
+	if err != nil || !res.Converged {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if vecmath.Norm2(x) != 0 {
+		t.Fatal("zero rhs must give zero solution")
+	}
+}
+
+func TestFlexibleCGMatchesCGUnpreconditioned(t *testing.T) {
+	g := grid(8, 8)
+	op := &sparse.ProjectedOperator{Inner: sparse.NewLapOperator(g)}
+	n := g.NumNodes()
+	b := make([]float64, n)
+	vecmath.NewRNG(4).FillNormal(b)
+	vecmath.CenterMean(b)
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	r1, err1 := sparse.CG(op, x1, b, &sparse.CGOptions{Tol: 1e-10})
+	r2, err2 := sparse.FlexibleCG(op, x2, b, nil, &sparse.CGOptions{Tol: 1e-10})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if !r1.Converged || !r2.Converged {
+		t.Fatal("both must converge")
+	}
+	// Same solution up to tolerance.
+	for i := range x1 {
+		if d := x1[i] - x2[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("solutions differ at %d", i)
+		}
+	}
+}
+
+func TestFlexibleCGDimensionError(t *testing.T) {
+	g := grid(3, 3)
+	op := sparse.NewLapOperator(g)
+	if _, err := sparse.FlexibleCG(op, make([]float64, 2), make([]float64, 9), nil, nil); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

@@ -1,0 +1,185 @@
+// Package resist unifies the repository's effective-resistance machinery
+// behind one Oracle interface with three interchangeable strategies:
+//
+//   - Exact: Jacobi-preconditioned CG solves of L x = b_pq. Slow (one solve
+//     per query) but accurate to solver tolerance. The validation oracle.
+//   - Tree: O(1) tree-path resistance over a low-stretch spanning tree — an
+//     upper bound by Rayleigh monotonicity. GRASS's ranking signal.
+//   - Krylov: the paper's Eq. (3) subspace estimate — O(log N) per query
+//     after near-linear setup, biased low. inGRASS's setup-phase signal.
+//
+// A CachingOracle wrapper memoizes repeated queries, which batch
+// re-ranking workloads hit heavily.
+package resist
+
+import (
+	"fmt"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/krylov"
+	"ingrass/internal/sparse"
+	"ingrass/internal/tree"
+)
+
+// Oracle answers effective-resistance queries on a fixed graph.
+type Oracle interface {
+	// Resistance returns (an approximation of) the effective resistance
+	// between p and q. Implementations return +Inf for disconnected pairs
+	// where detectable.
+	Resistance(p, q int) float64
+	// Kind names the strategy for reporting.
+	Kind() string
+}
+
+// Exact computes true effective resistances with CG solves.
+type Exact struct {
+	solver *sparse.LaplacianSolver
+}
+
+// NewExact builds the exact oracle. g must be connected for meaningful
+// answers. tol <= 0 defaults to 1e-10.
+func NewExact(g *graph.Graph, tol float64) *Exact {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	return &Exact{solver: sparse.NewLaplacianSolver(g, &sparse.CGOptions{Tol: tol}, 0)}
+}
+
+// Resistance solves L x = b_pq and returns x_p - x_q.
+func (e *Exact) Resistance(p, q int) float64 {
+	r, err := e.solver.SolvePair(p, q)
+	if err != nil {
+		// Loose convergence still yields a usable estimate; only report
+		// the value.
+		return r
+	}
+	return r
+}
+
+// Kind returns "exact".
+func (e *Exact) Kind() string { return "exact" }
+
+// Solves reports how many CG solves have been issued (diagnostics).
+func (e *Exact) Solves() int { return e.solver.Solves }
+
+// Tree answers with the tree-path resistance upper bound.
+type Tree struct {
+	oracle *tree.PathOracle
+}
+
+// NewTree builds the tree oracle over a low-stretch spanning tree of g.
+func NewTree(g *graph.Graph, seed uint64) *Tree {
+	st := tree.LowStretch(g, seed)
+	return &Tree{oracle: tree.NewPathOracle(st)}
+}
+
+// NewTreeFrom wraps an existing spanning tree.
+func NewTreeFrom(st *tree.SpanningTree) *Tree {
+	return &Tree{oracle: tree.NewPathOracle(st)}
+}
+
+// Resistance returns the tree-path resistance (an upper bound on the true
+// value; +Inf across components).
+func (t *Tree) Resistance(p, q int) float64 { return t.oracle.Resistance(p, q) }
+
+// Kind returns "tree".
+func (t *Tree) Kind() string { return "tree" }
+
+// Krylov answers with the paper's Eq. (3) subspace estimate.
+type Krylov struct {
+	emb *krylov.Embedding
+}
+
+// NewKrylov builds the Krylov oracle.
+func NewKrylov(g *graph.Graph, cfg krylov.Config) (*Krylov, error) {
+	emb, err := krylov.NewEmbedding(g, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("resist: %w", err)
+	}
+	return &Krylov{emb: emb}, nil
+}
+
+// Resistance returns the embedded estimate (finite even across components;
+// biased low in general).
+func (k *Krylov) Resistance(p, q int) float64 { return k.emb.Resistance(p, q) }
+
+// Kind returns "krylov".
+func (k *Krylov) Kind() string { return "krylov" }
+
+// CachingOracle memoizes another oracle's answers by node pair.
+type CachingOracle struct {
+	inner Oracle
+	cache map[uint64]float64
+	// Hits and Misses count cache behavior.
+	Hits, Misses int
+}
+
+// NewCaching wraps inner with an unbounded memo table.
+func NewCaching(inner Oracle) *CachingOracle {
+	return &CachingOracle{inner: inner, cache: make(map[uint64]float64)}
+}
+
+// Resistance returns the cached or freshly computed value.
+func (c *CachingOracle) Resistance(p, q int) float64 {
+	if p == q {
+		return 0
+	}
+	k := graph.KeyOf(p, q)
+	if v, ok := c.cache[k]; ok {
+		c.Hits++
+		return v
+	}
+	c.Misses++
+	v := c.inner.Resistance(p, q)
+	c.cache[k] = v
+	return v
+}
+
+// Kind reports the wrapped strategy.
+func (c *CachingOracle) Kind() string { return c.inner.Kind() + "+cache" }
+
+// CompareStats summarizes an accuracy comparison between an estimator and
+// the exact oracle over a set of node pairs.
+type CompareStats struct {
+	Pairs          int
+	MeanRatio      float64 // mean estimate/exact
+	MaxRatio       float64
+	MinRatio       float64
+	UpperBoundOK   bool // estimator never fell below exact (tree property)
+	NeverOvershoot bool // estimator never exceeded exact (subspace property)
+}
+
+// Compare evaluates estimator accuracy against exact on the given pairs.
+func Compare(estimator, exact Oracle, pairs [][2]int) CompareStats {
+	st := CompareStats{UpperBoundOK: true, NeverOvershoot: true, MinRatio: -1}
+	for _, pq := range pairs {
+		p, q := pq[0], pq[1]
+		if p == q {
+			continue
+		}
+		ev := estimator.Resistance(p, q)
+		xv := exact.Resistance(p, q)
+		if xv <= 0 {
+			continue
+		}
+		ratio := ev / xv
+		st.Pairs++
+		st.MeanRatio += ratio
+		if ratio > st.MaxRatio {
+			st.MaxRatio = ratio
+		}
+		if st.MinRatio < 0 || ratio < st.MinRatio {
+			st.MinRatio = ratio
+		}
+		if ratio < 1-1e-6 {
+			st.UpperBoundOK = false
+		}
+		if ratio > 1+1e-6 {
+			st.NeverOvershoot = false
+		}
+	}
+	if st.Pairs > 0 {
+		st.MeanRatio /= float64(st.Pairs)
+	}
+	return st
+}

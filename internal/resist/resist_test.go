@@ -1,0 +1,171 @@
+package resist
+
+import (
+	"math"
+	"testing"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/krylov"
+	"ingrass/internal/vecmath"
+)
+
+func grid(r, c int) *graph.Graph {
+	g := graph.New(r*c, 2*r*c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+		}
+	}
+	return g
+}
+
+func randomPairs(n, count int, seed uint64) [][2]int {
+	r := vecmath.NewRNG(seed)
+	out := make([][2]int, 0, count)
+	for len(out) < count {
+		p, q := r.Intn(n), r.Intn(n)
+		if p != q {
+			out = append(out, [2]int{p, q})
+		}
+	}
+	return out
+}
+
+func TestExactKnownValues(t *testing.T) {
+	// Path 0-1-2 with weights 2, 4: R(0,2) = 1/2 + 1/4.
+	g := graph.New(3, 2)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 4)
+	ex := NewExact(g, 1e-12)
+	if r := ex.Resistance(0, 2); math.Abs(r-0.75) > 1e-9 {
+		t.Fatalf("R(0,2) = %v, want 0.75", r)
+	}
+	if ex.Kind() != "exact" {
+		t.Fatal("kind")
+	}
+	if ex.Solves() != 1 {
+		t.Fatalf("solves %d", ex.Solves())
+	}
+}
+
+func TestTreeUpperBounds(t *testing.T) {
+	g := grid(6, 6)
+	ex := NewExact(g, 1e-11)
+	tr := NewTree(g, 1)
+	st := Compare(tr, ex, randomPairs(36, 40, 2))
+	if !st.UpperBoundOK {
+		t.Fatalf("tree oracle fell below exact: %+v", st)
+	}
+	if st.MeanRatio < 1 {
+		t.Fatalf("mean ratio %v < 1", st.MeanRatio)
+	}
+	if tr.Kind() != "tree" {
+		t.Fatal("kind")
+	}
+}
+
+func TestKrylovCloseToExact(t *testing.T) {
+	g := grid(6, 6)
+	ex := NewExact(g, 1e-11)
+	kr, err := NewKrylov(g, krylov.Config{Seed: 3, Order: 24, Starts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Compare(kr, ex, randomPairs(36, 40, 4))
+	// Subspace estimates are biased low but should track within a modest
+	// band on a small graph with a rich subspace.
+	if st.MeanRatio < 0.3 || st.MeanRatio > 1.2 {
+		t.Fatalf("krylov mean ratio %v out of band", st.MeanRatio)
+	}
+	if kr.Kind() != "krylov" {
+		t.Fatal("kind")
+	}
+}
+
+func TestKrylovErrorPropagation(t *testing.T) {
+	if _, err := NewKrylov(graph.New(0, 0), krylov.Config{}); err == nil {
+		t.Fatal("expected error on empty graph")
+	}
+}
+
+func TestCachingOracle(t *testing.T) {
+	g := grid(5, 5)
+	ex := NewExact(g, 1e-10)
+	c := NewCaching(ex)
+	a := c.Resistance(0, 24)
+	b := c.Resistance(24, 0) // symmetric key: must hit
+	if a != b {
+		t.Fatal("cache must be orientation independent")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.Resistance(3, 3) != 0 {
+		t.Fatal("self pair must be 0 without touching the cache")
+	}
+	if ex.Solves() != 1 {
+		t.Fatalf("inner oracle consulted %d times, want 1", ex.Solves())
+	}
+	if c.Kind() != "exact+cache" {
+		t.Fatalf("kind %q", c.Kind())
+	}
+}
+
+func TestCompareEmptyPairs(t *testing.T) {
+	g := grid(3, 3)
+	ex := NewExact(g, 1e-10)
+	st := Compare(ex, ex, [][2]int{{1, 1}})
+	if st.Pairs != 0 {
+		t.Fatal("self pairs must be skipped")
+	}
+}
+
+func TestExactSymmetryProperty(t *testing.T) {
+	g := grid(5, 5)
+	ex := NewExact(g, 1e-11)
+	r := vecmath.NewRNG(5)
+	for i := 0; i < 15; i++ {
+		p, q := r.Intn(25), r.Intn(25)
+		if math.Abs(ex.Resistance(p, q)-ex.Resistance(q, p)) > 1e-8 {
+			t.Fatalf("asymmetry at (%d,%d)", p, q)
+		}
+	}
+}
+
+// Triangle inequality: effective resistance is a metric.
+func TestExactTriangleInequality(t *testing.T) {
+	g := grid(5, 5)
+	ex := NewCaching(NewExact(g, 1e-11))
+	r := vecmath.NewRNG(6)
+	for i := 0; i < 25; i++ {
+		a, b, c := r.Intn(25), r.Intn(25), r.Intn(25)
+		if ex.Resistance(a, c) > ex.Resistance(a, b)+ex.Resistance(b, c)+1e-8 {
+			t.Fatalf("triangle inequality violated at (%d,%d,%d)", a, b, c)
+		}
+	}
+}
+
+// Rayleigh monotonicity: adding an edge can only decrease resistances.
+func TestRayleighMonotonicity(t *testing.T) {
+	g := grid(5, 5)
+	before := NewCaching(NewExact(g, 1e-11))
+	pairs := randomPairs(25, 15, 7)
+	vals := make([]float64, len(pairs))
+	for i, pq := range pairs {
+		vals[i] = before.Resistance(pq[0], pq[1])
+	}
+	g2 := g.Clone()
+	g2.AddEdge(0, 24, 2) // new long-range edge
+	after := NewCaching(NewExact(g2, 1e-11))
+	for i, pq := range pairs {
+		if after.Resistance(pq[0], pq[1]) > vals[i]+1e-8 {
+			t.Fatalf("resistance increased after adding an edge at pair %v", pq)
+		}
+	}
+}

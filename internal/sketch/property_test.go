@@ -1,0 +1,130 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+	"ingrass/internal/vecmath"
+)
+
+func randomConnected(seed uint64, n, extra int) *graph.Graph {
+	r := vecmath.NewRNG(seed)
+	g := graph.New(n, n+extra)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[r.Intn(i)], r.Range(0.1, 10))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, r.Range(0.1, 10))
+		}
+	}
+	return g
+}
+
+// Property: on any random connected graph, every sparsifier edge is indexed
+// exactly once — either as an intra edge at its shared level or as a
+// pair edge at every level below it.
+func TestEveryEdgeIndexedOnceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(seed, 30, 45)
+		d, err := lrd.Build(g, lrd.Config{Krylov: krylov.Config{Seed: seed}})
+		if err != nil {
+			return false
+		}
+		s, err := New(d, g)
+		if err != nil {
+			return false
+		}
+		// Collect intra memberships over all levels and clusters: each edge
+		// must appear exactly once (at its shared level).
+		counts := make([]int, g.NumEdges())
+		for l := 1; l < d.Levels; l++ {
+			for v := 0; v < d.N; v++ {
+				// Visit each cluster once via its first member.
+				if isFirstMember(d, l, v) {
+					for _, ei := range s.intra[l][d.ClusterID(l, v)] {
+						counts[ei]++
+					}
+				}
+			}
+		}
+		for ei, e := range g.Edges() {
+			sharedLvl := d.SharedLevel(e.U, e.V)
+			if sharedLvl <= 0 {
+				// Cross-component edges impossible on a connected graph.
+				return false
+			}
+			if counts[ei] != 1 {
+				return false
+			}
+			// Below the shared level the pair index must know the edge.
+			for l := 1; l < sharedLvl; l++ {
+				if s.PairCount(l, e.U, e.V) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// isFirstMember reports whether v is the lowest-id node of its cluster at
+// level l (used to visit each cluster exactly once).
+func isFirstMember(d *lrd.Decomposition, l, v int) bool {
+	c := d.ClusterID(l, v)
+	for u := 0; u < v; u++ {
+		if d.ClusterID(l, u) == c {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: registering an edge then querying ConnectingEdge at any level
+// below its shared level returns a valid edge of the same cluster pair.
+func TestRegisterQueryRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(seed, 25, 30)
+		d, err := lrd.Build(g, lrd.Config{Krylov: krylov.Config{Seed: seed}})
+		if err != nil {
+			return false
+		}
+		s, err := New(d, g)
+		if err != nil {
+			return false
+		}
+		r := vecmath.NewRNG(seed ^ 0x8)
+		for k := 0; k < 10; k++ {
+			u, v := r.Intn(25), r.Intn(25)
+			if u == v {
+				continue
+			}
+			ei := g.AddEdge(u, v, r.Range(0.5, 2))
+			s.Register(ei)
+			shared := d.SharedLevel(u, v)
+			for l := 1; l < shared; l++ {
+				rep, ok := s.ConnectingEdge(l, u, v)
+				if !ok {
+					return false
+				}
+				re := g.Edge(rep)
+				if pairKey(d.ClusterID(l, re.U), d.ClusterID(l, re.V)) !=
+					pairKey(d.ClusterID(l, u), d.ClusterID(l, v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package sketch implements the paper's "multilevel sparse data structure"
+// (setup phase 3): for each LRD level it indexes which cluster pairs are
+// already connected by a sparsifier edge and which sparsifier edges lie
+// inside each cluster. The update phase consults it to decide, in O(log N)
+// per new edge, whether the edge is spectrally unique (include), redundant
+// with an existing inter-cluster edge (merge weights), or internal to a
+// cluster (discard and redistribute weight).
+//
+// The structure is maintained incrementally: when the update phase admits a
+// new edge into the sparsifier, Register updates every level's indexes.
+package sketch
+
+import (
+	"fmt"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/lrd"
+)
+
+// pairKey packs two dense cluster ids into a map key.
+func pairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// PairInfo describes the sparsifier edges connecting a cluster pair at some
+// level.
+type PairInfo struct {
+	// Edges lists every sparsifier edge index connecting the pair, in
+	// registration order. Weight merges of redundant new edges are spread
+	// proportionally across them: concentrating the weight on a single
+	// representative would overweight that edge relative to the original
+	// graph and collapse the pencil's smallest eigenvalue.
+	Edges []int
+}
+
+// Edge returns the representative (first-registered) edge index.
+func (p PairInfo) Edge() int { return p.Edges[0] }
+
+// Count returns the number of edges connecting the pair.
+func (p PairInfo) Count() int { return len(p.Edges) }
+
+// Structure is the multilevel cluster-connectivity index for one sparsifier
+// graph against one LRD decomposition.
+type Structure struct {
+	d *lrd.Decomposition
+	h *graph.Graph
+
+	// pairs[l] maps cluster-pair key -> PairInfo at level l >= 1.
+	pairs []map[uint64]PairInfo
+	// intra[l] maps cluster id -> indices of sparsifier edges whose both
+	// endpoints lie in that cluster at level l but NOT at level l-1 (the
+	// level at which the edge becomes internal). Each edge is stored at
+	// exactly one level, keeping memory O(E).
+	intra []map[int32][]int
+	// children[l][c] lists the level-(l-1) cluster ids contained in level-l
+	// cluster c, enabling full descent when collecting a cluster's internal
+	// edges.
+	children [][][]int32
+}
+
+// New indexes the sparsifier h against decomposition d. h must be the graph
+// the decomposition was built from (same node set).
+func New(d *lrd.Decomposition, h *graph.Graph) (*Structure, error) {
+	if h.NumNodes() != d.N {
+		return nil, fmt.Errorf("sketch: sparsifier has %d nodes, decomposition %d", h.NumNodes(), d.N)
+	}
+	s := &Structure{
+		d:     d,
+		h:     h,
+		pairs: make([]map[uint64]PairInfo, d.Levels),
+		intra: make([]map[int32][]int, d.Levels),
+	}
+	for l := 1; l < d.Levels; l++ {
+		s.pairs[l] = make(map[uint64]PairInfo)
+		s.intra[l] = make(map[int32][]int)
+	}
+
+	// Build the cluster containment tree. A level-(l-1) cluster's parent is
+	// the level-l cluster of any of its member nodes; scan nodes once per
+	// level marking first representatives.
+	s.children = make([][][]int32, d.Levels)
+	for l := 2; l < d.Levels; l++ {
+		s.children[l] = make([][]int32, d.NumClusters[l])
+		seen := make([]bool, d.NumClusters[l-1])
+		for v := 0; v < d.N; v++ {
+			child := d.ClusterID(l-1, v)
+			if seen[child] {
+				continue
+			}
+			seen[child] = true
+			parent := d.ClusterID(l, v)
+			s.children[l][parent] = append(s.children[l][parent], child)
+		}
+	}
+
+	for ei := range h.Edges() {
+		s.Register(ei)
+	}
+	return s, nil
+}
+
+// Decomposition returns the underlying LRD decomposition.
+func (s *Structure) Decomposition() *lrd.Decomposition { return s.d }
+
+// Sparsifier returns the indexed sparsifier graph.
+func (s *Structure) Sparsifier() *graph.Graph { return s.h }
+
+// Register indexes sparsifier edge ei at every level. Call it after
+// appending a new edge to the sparsifier. Registering the same edge twice
+// double-counts it; callers own that discipline.
+func (s *Structure) Register(ei int) {
+	e := s.h.Edge(ei)
+	for l := 1; l < s.d.Levels; l++ {
+		cu := s.d.ClusterID(l, e.U)
+		cv := s.d.ClusterID(l, e.V)
+		if cu == cv {
+			// The edge becomes internal at this level; record it here only.
+			s.intra[l][cu] = append(s.intra[l][cu], ei)
+			break
+		}
+		k := pairKey(cu, cv)
+		info := s.pairs[l][k]
+		info.Edges = append(info.Edges, ei)
+		s.pairs[l][k] = info
+	}
+}
+
+// ConnectingEdge reports whether some sparsifier edge already connects the
+// clusters of p and q at level l, returning the representative edge index.
+// It must only be called when p and q are in different clusters at level l.
+func (s *Structure) ConnectingEdge(l, p, q int) (int, bool) {
+	es := s.PairEdges(l, p, q)
+	if len(es) == 0 {
+		return -1, false
+	}
+	return es[0], true
+}
+
+// PairEdges returns every sparsifier edge connecting the clusters of p and
+// q at level l (nil if none or same cluster). Callers must not modify the
+// returned slice.
+func (s *Structure) PairEdges(l, p, q int) []int {
+	cu := s.d.ClusterID(l, p)
+	cv := s.d.ClusterID(l, q)
+	if cu == cv {
+		return nil
+	}
+	return s.pairs[l][pairKey(cu, cv)].Edges
+}
+
+// PairCount returns how many sparsifier edges connect the clusters of p and
+// q at level l (0 if none or same cluster).
+func (s *Structure) PairCount(l, p, q int) int {
+	return len(s.PairEdges(l, p, q))
+}
+
+// SameCluster reports whether p and q share a cluster at level l.
+func (s *Structure) SameCluster(l, p, q int) bool {
+	return s.d.ClusterID(l, p) == s.d.ClusterID(l, q)
+}
+
+// IntraClusterEdges appends to buf every sparsifier edge internal to the
+// cluster of node p at level l (edges whose endpoints became co-clustered
+// at any level <= l within this cluster's subtree), and returns the
+// extended buffer. The update phase redistributes discarded intra-cluster
+// weight over these edges. Cost is O(size of the cluster subtree), which
+// the filter-level choice bounds by the target condition number.
+func (s *Structure) IntraClusterEdges(l, p int, buf []int) []int {
+	var descend func(level int, c int32)
+	descend = func(level int, c int32) {
+		buf = append(buf, s.intra[level][c]...)
+		if level >= 2 {
+			for _, child := range s.children[level][c] {
+				descend(level-1, child)
+			}
+		}
+	}
+	descend(l, s.d.ClusterID(l, p))
+	return buf
+}
+
+// LevelPairs returns the number of connected cluster pairs recorded at
+// level l (diagnostic).
+func (s *Structure) LevelPairs(l int) int { return len(s.pairs[l]) }
+
+// MemoryFootprint returns a rough count of stored index entries across all
+// levels (diagnostic; the paper's O(N log N) claim is observable here).
+func (s *Structure) MemoryFootprint() int {
+	total := 0
+	for l := 1; l < s.d.Levels; l++ {
+		total += len(s.pairs[l])
+		for _, v := range s.intra[l] {
+			total += len(v)
+		}
+	}
+	return total
+}

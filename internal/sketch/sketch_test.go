@@ -1,0 +1,201 @@
+package sketch
+
+import (
+	"testing"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+)
+
+func grid(r, c int) *graph.Graph {
+	g := graph.New(r*c, 2*r*c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+		}
+	}
+	return g
+}
+
+func build(t *testing.T, g *graph.Graph) (*lrd.Decomposition, *Structure) {
+	t.Helper()
+	d, err := lrd.Build(g, lrd.Config{Krylov: krylov.Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s
+}
+
+func TestNewRejectsMismatch(t *testing.T) {
+	g := grid(4, 4)
+	d, err := lrd.Build(g, lrd.Config{Krylov: krylov.Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d, grid(3, 3)); err == nil {
+		t.Fatal("expected node-count mismatch error")
+	}
+}
+
+// Brute-force check of pair connectivity against the definition.
+func TestPairIndexMatchesBruteForce(t *testing.T) {
+	g := grid(6, 6)
+	d, s := build(t, g)
+	for l := 1; l < d.Levels; l++ {
+		// Brute force: recompute pair counts by scanning all edges.
+		want := map[uint64]int{}
+		for _, e := range g.Edges() {
+			cu, cv := d.ClusterID(l, e.U), d.ClusterID(l, e.V)
+			if cu != cv {
+				want[pairKey(cu, cv)]++
+			}
+		}
+		if len(want) != s.LevelPairs(l) {
+			t.Fatalf("level %d: %d pairs indexed, want %d", l, s.LevelPairs(l), len(want))
+		}
+		for _, e := range g.Edges() {
+			cu, cv := d.ClusterID(l, e.U), d.ClusterID(l, e.V)
+			if cu != cv {
+				if got := s.PairCount(l, e.U, e.V); got != want[pairKey(cu, cv)] {
+					t.Fatalf("level %d pair (%d,%d): count %d want %d", l, cu, cv, got, want[pairKey(cu, cv)])
+				}
+				if _, ok := s.ConnectingEdge(l, e.U, e.V); !ok {
+					t.Fatalf("level %d: connecting edge missing for a connected pair", l)
+				}
+			} else if s.PairCount(l, e.U, e.V) != 0 {
+				t.Fatal("same-cluster pair must report count 0")
+			}
+		}
+	}
+}
+
+func TestConnectingEdgeIsValid(t *testing.T) {
+	g := grid(5, 5)
+	d, s := build(t, g)
+	for l := 1; l < d.Levels; l++ {
+		for _, e := range g.Edges() {
+			if s.SameCluster(l, e.U, e.V) {
+				continue
+			}
+			ei, ok := s.ConnectingEdge(l, e.U, e.V)
+			if !ok {
+				t.Fatal("existing edge not found")
+			}
+			rep := g.Edge(ei)
+			// The representative must connect the same cluster pair.
+			cu, cv := d.ClusterID(l, e.U), d.ClusterID(l, e.V)
+			ru, rv := d.ClusterID(l, rep.U), d.ClusterID(l, rep.V)
+			if pairKey(cu, cv) != pairKey(ru, rv) {
+				t.Fatalf("representative edge connects (%d,%d), want (%d,%d)", ru, rv, cu, cv)
+			}
+		}
+	}
+}
+
+// Every edge is internal to exactly the clusters of its shared level and
+// above; IntraClusterEdges at the top level must therefore return every
+// edge of a connected graph.
+func TestIntraClusterEdgesTopLevel(t *testing.T) {
+	g := grid(5, 5)
+	d, s := build(t, g)
+	top := d.Levels - 1
+	if d.NumClusters[top] != 1 {
+		t.Skip("grid did not contract to one cluster")
+	}
+	all := s.IntraClusterEdges(top, 0, nil)
+	seen := map[int]bool{}
+	for _, ei := range all {
+		if seen[ei] {
+			t.Fatalf("edge %d returned twice", ei)
+		}
+		seen[ei] = true
+	}
+	if len(all) != g.NumEdges() {
+		t.Fatalf("top-level intra edges %d, want all %d", len(all), g.NumEdges())
+	}
+}
+
+// Intra edges of a cluster must have both endpoints inside that cluster.
+func TestIntraClusterEdgesMembership(t *testing.T) {
+	g := grid(6, 6)
+	d, s := build(t, g)
+	for l := 1; l < d.Levels; l++ {
+		for v := 0; v < d.N; v += 5 {
+			target := d.ClusterID(l, v)
+			for _, ei := range s.IntraClusterEdges(l, v, nil) {
+				e := g.Edge(ei)
+				if d.ClusterID(l, e.U) != target || d.ClusterID(l, e.V) != target {
+					t.Fatalf("level %d: edge %d leaks outside cluster %d", l, ei, target)
+				}
+			}
+		}
+	}
+}
+
+// Registering a new sparsifier edge updates pair indexes at every level
+// where the endpoints are in different clusters.
+func TestRegisterNewEdge(t *testing.T) {
+	g := grid(6, 6)
+	d, s := build(t, g)
+	// Add a long-range edge between opposite corners.
+	p, q := 0, 35
+	ei := g.AddEdge(p, q, 2)
+	lShared := d.SharedLevel(p, q)
+	if lShared <= 1 {
+		t.Skip("corners co-clustered too early for this test")
+	}
+	before := make([]int, d.Levels)
+	for l := 1; l < lShared; l++ {
+		before[l] = s.PairCount(l, p, q)
+	}
+	s.Register(ei)
+	for l := 1; l < lShared; l++ {
+		if got := s.PairCount(l, p, q); got != before[l]+1 {
+			t.Fatalf("level %d pair count %d, want %d", l, got, before[l]+1)
+		}
+		if _, ok := s.ConnectingEdge(l, p, q); !ok {
+			t.Fatalf("level %d: new edge not indexed", l)
+		}
+	}
+	// At the shared level it must appear as an intra edge.
+	found := false
+	for _, x := range s.IntraClusterEdges(lShared, p, nil) {
+		if x == ei {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("new edge missing from intra index at its shared level")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := grid(4, 4)
+	d, s := build(t, g)
+	if s.Decomposition() != d || s.Sparsifier() != g {
+		t.Fatal("accessors broken")
+	}
+	if s.MemoryFootprint() <= 0 {
+		t.Fatal("memory footprint should be positive")
+	}
+}
+
+func TestPairKeySymmetry(t *testing.T) {
+	if pairKey(3, 9) != pairKey(9, 3) {
+		t.Fatal("pairKey must be symmetric")
+	}
+	if pairKey(3, 9) == pairKey(3, 8) {
+		t.Fatal("distinct pairs collide")
+	}
+}

@@ -1,0 +1,150 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ingrass/internal/vecmath"
+)
+
+// ErrNoConvergence is returned when an iterative solve exhausts its
+// iteration budget before reaching the requested tolerance. The partial
+// solution is still returned alongside it, since downstream estimators can
+// often tolerate loose solves.
+var ErrNoConvergence = errors.New("sparse: iteration limit reached before convergence")
+
+// CGOptions controls the conjugate-gradient solvers.
+type CGOptions struct {
+	// Tol is the relative residual target ||r|| <= Tol*||b||. Default 1e-8.
+	Tol float64
+	// MaxIter bounds iterations. Default 10*n (capped at 20000).
+	MaxIter int
+	// Precond, if non-nil, applies an SPD preconditioner dst = M^{-1} x.
+	Precond func(dst, x []float64)
+}
+
+func (o *CGOptions) withDefaults(n int) CGOptions {
+	out := CGOptions{Tol: 1e-8, MaxIter: 10 * n}
+	if out.MaxIter > 20000 {
+		out.MaxIter = 20000
+	}
+	if out.MaxIter < 50 {
+		out.MaxIter = 50
+	}
+	if o != nil {
+		if o.Tol > 0 {
+			out.Tol = o.Tol
+		}
+		if o.MaxIter > 0 {
+			out.MaxIter = o.MaxIter
+		}
+		out.Precond = o.Precond
+	}
+	return out
+}
+
+// CGResult reports how a solve went.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// CG solves A x = b for a symmetric positive (semi-)definite operator using
+// preconditioned conjugate gradients. x is used as the starting guess and
+// overwritten with the solution. For singular-but-consistent systems
+// (Laplacians with mean-zero b), wrap A in a ProjectedOperator and keep x
+// mean-zero.
+func CG(a Operator, x, b []float64, opts *CGOptions) (CGResult, error) {
+	n := a.Dim()
+	if len(x) != n || len(b) != n {
+		return CGResult{}, fmt.Errorf("sparse: CG dimension mismatch x=%d b=%d n=%d", len(x), len(b), n)
+	}
+	o := opts.withDefaults(n)
+
+	normB := vecmath.Norm2(b)
+	if normB == 0 {
+		vecmath.Zero(x)
+		return CGResult{Converged: true}, nil
+	}
+	target := o.Tol * normB
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	// r = b - A x
+	a.Apply(r, x)
+	vecmath.Sub(r, b, r)
+
+	applyPrecond := func(dst, src []float64) {
+		if o.Precond != nil {
+			o.Precond(dst, src)
+		} else {
+			copy(dst, src)
+		}
+	}
+
+	applyPrecond(z, r)
+	copy(p, z)
+	rz := vecmath.Dot(r, z)
+
+	res := CGResult{Residual: vecmath.Norm2(r) / normB}
+	if vecmath.Norm2(r) <= target {
+		res.Converged = true
+		return res, nil
+	}
+
+	for k := 0; k < o.MaxIter; k++ {
+		a.Apply(ap, p)
+		pap := vecmath.Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			// Negative curvature or breakdown: the operator is not SPD on
+			// this subspace (or we've hit the null space numerically).
+			res.Iterations = k
+			res.Residual = vecmath.Norm2(r) / normB
+			return res, fmt.Errorf("sparse: CG breakdown, p'Ap = %g at iteration %d", pap, k)
+		}
+		alpha := rz / pap
+		vecmath.AXPY(x, alpha, p)
+		vecmath.AXPY(r, -alpha, ap)
+
+		rn := vecmath.Norm2(r)
+		res.Iterations = k + 1
+		res.Residual = rn / normB
+		if rn <= target {
+			res.Converged = true
+			return res, nil
+		}
+
+		applyPrecond(z, r)
+		rzNew := vecmath.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return res, ErrNoConvergence
+}
+
+// JacobiPrecond returns a diagonal (Jacobi) preconditioner closure for the
+// given diagonal. Zero diagonal entries (isolated nodes) pass through
+// unscaled.
+func JacobiPrecond(diag []float64) func(dst, x []float64) {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if d > 0 {
+			inv[i] = 1 / d
+		} else {
+			inv[i] = 1
+		}
+	}
+	return func(dst, x []float64) {
+		for i := range dst {
+			dst[i] = inv[i] * x[i]
+		}
+	}
+}

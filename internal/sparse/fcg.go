@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"ingrass/internal/vecmath"
+)
+
+// FlexibleCG solves A x = b by the flexible (Polak-Ribiere) preconditioned
+// conjugate gradient method. Unlike standard PCG, FCG tolerates a
+// preconditioner that is itself an iterative solve (e.g. a truncated CG on
+// a sparsifier Laplacian) and therefore varies slightly from application to
+// application — exactly the setting of sparsifier-preconditioned solvers.
+//
+// x is the start guess and is overwritten. The preconditioner must be a
+// (possibly inexact) SPD-like map dst = M^{-1} src; pass nil for none.
+func FlexibleCG(a Operator, x, b []float64, precond func(dst, src []float64), opts *CGOptions) (CGResult, error) {
+	n := a.Dim()
+	if len(x) != n || len(b) != n {
+		return CGResult{}, fmt.Errorf("sparse: FlexibleCG dimension mismatch x=%d b=%d n=%d", len(x), len(b), n)
+	}
+	o := opts.withDefaults(n)
+
+	normB := vecmath.Norm2(b)
+	if normB == 0 {
+		vecmath.Zero(x)
+		return CGResult{Converged: true}, nil
+	}
+	target := o.Tol * normB
+
+	r := make([]float64, n)
+	rPrev := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.Apply(r, x)
+	vecmath.Sub(r, b, r)
+
+	apply := func(dst, src []float64) {
+		if precond != nil {
+			precond(dst, src)
+		} else {
+			copy(dst, src)
+		}
+	}
+
+	apply(z, r)
+	copy(p, z)
+	zr := vecmath.Dot(z, r)
+
+	res := CGResult{Residual: vecmath.Norm2(r) / normB}
+	if vecmath.Norm2(r) <= target {
+		res.Converged = true
+		return res, nil
+	}
+
+	for k := 0; k < o.MaxIter; k++ {
+		a.Apply(ap, p)
+		pap := vecmath.Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			res.Iterations = k
+			res.Residual = vecmath.Norm2(r) / normB
+			return res, fmt.Errorf("sparse: FlexibleCG breakdown, p'Ap = %g at iteration %d", pap, k)
+		}
+		alpha := zr / pap
+		vecmath.AXPY(x, alpha, p)
+		copy(rPrev, r)
+		vecmath.AXPY(r, -alpha, ap)
+
+		rn := vecmath.Norm2(r)
+		res.Iterations = k + 1
+		res.Residual = rn / normB
+		if rn <= target {
+			res.Converged = true
+			return res, nil
+		}
+
+		apply(z, r)
+		// Polak-Ribiere: beta = z'(r - rPrev) / (z_prev' r_prev); the
+		// difference form keeps conjugacy under an inexact preconditioner.
+		var num float64
+		for i := range z {
+			num += z[i] * (r[i] - rPrev[i])
+		}
+		beta := num / zr
+		if beta < 0 {
+			beta = 0 // restart direction on loss of conjugacy
+		}
+		zr = vecmath.Dot(z, r)
+		if zr <= 0 || math.IsNaN(zr) {
+			// Preconditioner stopped acting SPD; restart from steepest
+			// descent rather than aborting.
+			copy(p, z)
+			zr = vecmath.Dot(z, r)
+			if zr <= 0 {
+				res.Residual = rn / normB
+				return res, fmt.Errorf("sparse: FlexibleCG preconditioner not positive at iteration %d", k)
+			}
+			continue
+		}
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return res, ErrNoConvergence
+}

@@ -1,0 +1,144 @@
+package tree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ingrass/internal/vecmath"
+)
+
+// Property: every spanning-tree construction yields exactly N-1 edges and
+// one component on connected inputs, for all three algorithms.
+func TestSpanningProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(30, 45, seed)
+		for _, st := range []*SpanningTree{
+			MaxWeight(g), Prim(g), LowStretch(g, seed),
+		} {
+			if !st.IsSpanning() {
+				return false
+			}
+			// Depth/parent consistency.
+			for v := 0; v < g.NumNodes(); v++ {
+				p := st.Parent[v]
+				if p == -1 {
+					if st.Depth[v] != 0 {
+						return false
+					}
+					continue
+				}
+				if st.Depth[v] != st.Depth[p]+1 {
+					return false
+				}
+				e := g.Edge(st.ParentEdge[v])
+				if !((e.U == v && e.V == p) || (e.V == v && e.U == p)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Kruskal max-weight trees are at least as heavy as low-stretch
+// trees (max-weight is optimal in total weight).
+func TestMaxWeightOptimalityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(25, 40, seed)
+		kw := MaxWeight(g).TotalWeight()
+		ls := LowStretch(g, seed).TotalWeight()
+		return kw >= ls-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the path oracle's resistance is a metric on the tree —
+// symmetric, zero iff identical, triangle inequality (exact on trees).
+func TestTreeMetricProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(20, 30, seed)
+		o := NewPathOracle(MaxWeight(g))
+		r := vecmath.NewRNG(seed ^ 0xff)
+		for k := 0; k < 20; k++ {
+			a, b, c := r.Intn(20), r.Intn(20), r.Intn(20)
+			rab := o.Resistance(a, b)
+			rba := o.Resistance(b, a)
+			if rab != rba {
+				return false
+			}
+			if (a == b) != (rab == 0) {
+				return false
+			}
+			if o.Resistance(a, c) > rab+o.Resistance(b, c)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LCA is the deepest common ancestor: it is an ancestor of both
+// nodes and its children toward each node differ.
+func TestLCACorrectnessProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(24, 36, seed)
+		st := MaxWeight(g)
+		o := NewPathOracle(st)
+		ancestors := func(v int) []int {
+			var out []int
+			for x := v; x != -1; x = st.Parent[x] {
+				out = append(out, x)
+			}
+			return out
+		}
+		r := vecmath.NewRNG(seed ^ 0xabc)
+		for k := 0; k < 15; k++ {
+			u, v := r.Intn(24), r.Intn(24)
+			l := o.LCA(u, v)
+			// Brute force: deepest common node of ancestor chains.
+			au := ancestors(u)
+			av := ancestors(v)
+			inU := map[int]bool{}
+			for _, x := range au {
+				inU[x] = true
+			}
+			best, bestDepth := -1, -1
+			for _, x := range av {
+				if inU[x] && st.Depth[x] > bestDepth {
+					best, bestDepth = x, st.Depth[x]
+				}
+			}
+			if l != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total stretch of tree edges equals the tree edge count (each
+// contributes exactly 1).
+func TestTreeEdgeStretchProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnected(15, 0, seed) // tree-only graph
+		st := MaxWeight(g)
+		o := NewPathOracle(st)
+		s := Stretch(st, o)
+		return s.OffTree == 0 && math.Abs(s.Total-float64(g.NumEdges())) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package vecmath
+
+// OrthonormalizeMGS performs modified Gram-Schmidt on the given set of
+// vectors in place, producing an orthonormal set spanning the same subspace.
+// Vectors that become (numerically) linearly dependent are dropped; the
+// returned slice aliases the surviving vectors in their original order.
+//
+// dropTol is the norm below which a vector is considered dependent after
+// projection; a typical value is 1e-10 times the original norm scale.
+func OrthonormalizeMGS(vectors [][]float64, dropTol float64) [][]float64 {
+	kept := vectors[:0]
+	for _, v := range vectors {
+		for _, u := range kept {
+			AXPY(v, -Dot(u, v), u)
+		}
+		// A second projection pass ("twice is enough") restores
+		// orthogonality lost to cancellation on ill-conditioned inputs.
+		for _, u := range kept {
+			AXPY(v, -Dot(u, v), u)
+		}
+		if Norm2(v) <= dropTol {
+			continue
+		}
+		Normalize(v)
+		kept = append(kept, v)
+	}
+	return kept
+}
+
+// ProjectOut subtracts from v its component along the (assumed unit-norm)
+// direction u: v -= (u . v) u.
+func ProjectOut(v, u []float64) {
+	AXPY(v, -Dot(u, v), u)
+}
+
+// ProjectOutOnes removes the constant component of v, i.e. projects v onto
+// the orthogonal complement of the all-ones vector. This is the same
+// operation as CenterMean; the alias documents intent at Krylov call sites
+// where the ones vector is the Laplacian kernel.
+func ProjectOutOnes(v []float64) {
+	CenterMean(v)
+}
+
+// OrthoCheck returns the maximum absolute deviation from orthonormality of
+// the given vectors: max over pairs |<u_i, u_j> - delta_ij|. Used in tests
+// and debug assertions.
+func OrthoCheck(vectors [][]float64) float64 {
+	var worst float64
+	for i := range vectors {
+		for j := i; j < len(vectors); j++ {
+			d := Dot(vectors[i], vectors[j])
+			if i == j {
+				d -= 1
+			}
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,283 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, -5, 6}
+	if got := Dot(a, b); got != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", got)
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if got := NormInf([]float64{-7, 3, 5}); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+	if got := NormInf(nil); got != 0 {
+		t.Fatalf("NormInf(nil) = %v, want 0", got)
+	}
+}
+
+func TestScaleAXPY(t *testing.T) {
+	v := []float64{1, 2}
+	Scale(v, 3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Fatalf("Scale gave %v", v)
+	}
+	AXPY(v, 2, []float64{1, 1})
+	if v[0] != 5 || v[1] != 8 {
+		t.Fatalf("AXPY gave %v", v)
+	}
+}
+
+func TestSubAddSum(t *testing.T) {
+	a := []float64{5, 7}
+	b := []float64{2, 3}
+	dst := make([]float64, 2)
+	Sub(dst, a, b)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("Sub gave %v", dst)
+	}
+	Add(dst, a, b)
+	if dst[0] != 7 || dst[1] != 10 {
+		t.Fatalf("Add gave %v", dst)
+	}
+	if Sum(a) != 12 {
+		t.Fatalf("Sum gave %v", Sum(a))
+	}
+}
+
+func TestCenterMean(t *testing.T) {
+	v := []float64{1, 2, 3, 6}
+	CenterMean(v)
+	if !almostEqual(Sum(v), 0, 1e-12) {
+		t.Fatalf("CenterMean left sum %v", Sum(v))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	n := Normalize(v)
+	if n != 5 {
+		t.Fatalf("Normalize returned %v, want 5", n)
+	}
+	if !almostEqual(Norm2(v), 1, 1e-12) {
+		t.Fatalf("normalized norm %v", Norm2(v))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Fatal("Normalize of zero vector should return 0")
+	}
+}
+
+func TestBasis(t *testing.T) {
+	v := make([]float64, 4)
+	Basis(v, 1, 3)
+	want := []float64{0, 1, 0, -1}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Basis gave %v", v)
+		}
+	}
+}
+
+func TestFillZeroMean(t *testing.T) {
+	v := make([]float64, 3)
+	Fill(v, 2.5)
+	if Mean(v) != 2.5 {
+		t.Fatalf("Mean gave %v", Mean(v))
+	}
+	Zero(v)
+	if Sum(v) != 0 {
+		t.Fatalf("Zero left %v", v)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+}
+
+// Property: Cauchy-Schwarz |a.b| <= |a||b| holds for random vectors.
+func TestDotCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for _, x := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological float inputs
+			}
+		}
+		lhs := math.Abs(Dot(a, b))
+		rhs := Norm2(a) * Norm2(b)
+		return lhs <= rhs*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CenterMean is idempotent and makes the vector orthogonal to ones.
+func TestCenterMeanProperty(t *testing.T) {
+	f := func(v []float64) bool {
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		w := append([]float64{}, v...)
+		CenterMean(w)
+		scale := NormInf(w) + 1
+		if math.Abs(Sum(w)) > 1e-9*scale*float64(len(w)+1) {
+			return false
+		}
+		w2 := append([]float64{}, w...)
+		CenterMean(w2)
+		for i := range w {
+			if math.Abs(w[i]-w2[i]) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(7)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(5) badly skewed: value %d seen %d times", v, c)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGRademacher(t *testing.T) {
+	r := NewRNG(5)
+	v := make([]float64, 1000)
+	r.FillRademacher(v)
+	for _, x := range v {
+		if x != 1 && x != -1 {
+			t.Fatalf("Rademacher entry %v", x)
+		}
+	}
+}
+
+func TestRNGShuffle(t *testing.T) {
+	r := NewRNG(9)
+	v := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int{}, v...)
+	r.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	seen := make(map[int]bool)
+	for _, x := range v {
+		seen[x] = true
+	}
+	if len(seen) != len(orig) {
+		t.Fatalf("Shuffle lost elements: %v", v)
+	}
+}

@@ -1,0 +1,78 @@
+package ingrass
+
+import (
+	"testing"
+)
+
+func TestSpectralBisectPublic(t *testing.T) {
+	// Two dense blobs and a weak bridge, via the public API.
+	g := NewGraph(16)
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			if _, err := g.AddEdge(a, b, 4); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.AddEdge(8+a, 8+b, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := g.AddEdge(0, 8, 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := SpectralBisect(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Side) != 16 {
+		t.Fatalf("side length %d", len(p.Side))
+	}
+	// The two blobs must land on opposite sides, cutting only the bridge.
+	for v := 1; v < 8; v++ {
+		if p.Side[v] != p.Side[0] {
+			t.Fatalf("blob A split at %d", v)
+		}
+	}
+	for v := 8; v < 16; v++ {
+		if p.Side[v] == p.Side[0] {
+			t.Fatalf("blob B merged at %d", v)
+		}
+	}
+	if p.CutWeight > 0.1001 {
+		t.Fatalf("cut weight %v", p.CutWeight)
+	}
+	if p.Conductance <= 0 {
+		t.Fatal("conductance must be positive")
+	}
+}
+
+func TestSpectralBisectSparsifiedPublic(t *testing.T) {
+	g, err := GenerateRandomGeometric(800, 0.08, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Sparsify(g, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SpectralBisect(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaH, err := SpectralBisectSparsified(g, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quality within a small factor of the full-graph bisection.
+	if viaH.CutWeight > 4*full.CutWeight {
+		t.Fatalf("sparsified cut %v vs full %v", viaH.CutWeight, full.CutWeight)
+	}
+	// Errors propagate.
+	if _, err := SpectralBisectSparsified(g, NewGraph(3), 1); err == nil {
+		t.Fatal("expected node mismatch error")
+	}
+	if _, err := SpectralBisect(NewGraph(1), 1); err == nil {
+		t.Fatal("expected too-small error")
+	}
+}

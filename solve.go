@@ -1,0 +1,55 @@
+package ingrass
+
+import (
+	"fmt"
+
+	"ingrass/internal/precond"
+	"ingrass/internal/sparse"
+)
+
+// SolveStats reports a preconditioned Laplacian solve.
+type SolveStats struct {
+	// Iterations is the outer FCG iteration count.
+	Iterations int
+	// Residual is the final relative residual.
+	Residual float64
+	// Converged reports whether the tolerance was met.
+	Converged bool
+	// PrecondUses counts inner sparsifier solves.
+	PrecondUses int
+}
+
+// SolveLaplacian solves the Laplacian system L_G x = b using flexible
+// conjugate gradients preconditioned by the sparsifier h — the downstream
+// application (fast circuit-style solves) that motivates maintaining a
+// sparsifier in the first place. b must be mean-zero up to rounding (the
+// system is singular with the constant null space); it is centered
+// internally, and the returned solution is mean-zero.
+//
+// tol is the relative residual target (0 means 1e-8). Pass the live
+// sparsifier of an Incremental to keep solve cost tracking the evolving
+// graph.
+func SolveLaplacian(g, h *Graph, b []float64, tol float64) ([]float64, SolveStats, error) {
+	if len(b) != g.NumNodes() {
+		return nil, SolveStats{}, fmt.Errorf("ingrass: rhs length %d != %d nodes", len(b), g.NumNodes())
+	}
+	if h.NumNodes() != g.NumNodes() {
+		return nil, SolveStats{}, fmt.Errorf("ingrass: sparsifier node count mismatch")
+	}
+	p, err := precond.New(h.g, precond.Options{})
+	if err != nil {
+		return nil, SolveStats{}, err
+	}
+	x := make([]float64, g.NumNodes())
+	res, err := p.Solve(g.g, x, b, &sparse.CGOptions{Tol: tol})
+	stats := SolveStats{
+		Iterations:  res.Outer.Iterations,
+		Residual:    res.Outer.Residual,
+		Converged:   res.Outer.Converged,
+		PrecondUses: res.InnerUses,
+	}
+	if err != nil {
+		return x, stats, err
+	}
+	return x, stats, nil
+}

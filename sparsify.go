@@ -1,0 +1,258 @@
+package ingrass
+
+import (
+	"fmt"
+
+	"ingrass/internal/cond"
+	"ingrass/internal/core"
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+)
+
+// Options configures sparsification and incremental maintenance.
+type Options struct {
+	// InitialDensity is the off-tree edge budget of the initial sparsifier
+	// as a fraction of |E_G| (the paper's D; tables use 0.10). Default 0.1.
+	InitialDensity float64
+	// TargetCond is the condition-number target C steering the update
+	// phase's filtering level. 0 means: estimate kappa(G, H(0)) cheaply by
+	// proxy — use 100, the paper's order of magnitude.
+	TargetCond float64
+	// KrylovOrder overrides the resistance-embedding subspace dimension
+	// (0 = automatic, about log2 N).
+	KrylovOrder int
+	// Seed makes every randomized component deterministic.
+	Seed uint64
+	// Workers bounds goroutine parallelism (0 = GOMAXPROCS).
+	Workers int
+	// SimilarityFilter enables GRASS's redundant-cycle filtering when
+	// building the initial sparsifier. Default true via NewIncremental.
+	SimilarityFilter bool
+}
+
+func (o Options) normalized() Options {
+	if o.InitialDensity == 0 {
+		o.InitialDensity = 0.1
+	}
+	if o.TargetCond == 0 {
+		o.TargetCond = 100
+	}
+	return o
+}
+
+func (o Options) lrdConfig() lrd.Config {
+	return lrd.Config{
+		Krylov: krylov.Config{Order: o.KrylovOrder, Seed: o.Seed, Workers: o.Workers},
+	}
+}
+
+// Sparsify builds a spectral sparsifier of g from scratch with the
+// GRASS-style algorithm (low-stretch spanning tree plus the highest-
+// distortion off-tree edges). density is the off-tree budget as a fraction
+// of g's edges.
+func Sparsify(g *Graph, density float64, seed uint64) (*Graph, error) {
+	res, err := grass.Sparsify(g.g, grass.Config{
+		TargetDensity:    density,
+		Tree:             grass.TreeLowStretch,
+		SimilarityFilter: true,
+		Seed:             seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(res.H), nil
+}
+
+// UpdateAction mirrors the three outcomes of the update-phase filter.
+type UpdateAction int
+
+const (
+	// ActionIncluded means the edge was added to the sparsifier.
+	ActionIncluded UpdateAction = iota
+	// ActionMerged means the weight was folded into an existing edge.
+	ActionMerged
+	// ActionRedistributed means the weight was spread inside a cluster.
+	ActionRedistributed
+)
+
+// String names the action.
+func (a UpdateAction) String() string {
+	switch a {
+	case ActionIncluded:
+		return "included"
+	case ActionMerged:
+		return "merged"
+	case ActionRedistributed:
+		return "redistributed"
+	default:
+		return fmt.Sprintf("UpdateAction(%d)", int(a))
+	}
+}
+
+// UpdateReport summarizes one AddEdges batch.
+type UpdateReport struct {
+	Processed     int
+	Included      int
+	Merged        int
+	Redistributed int
+	// Actions lists the per-edge outcome in processing (descending
+	// distortion) order.
+	Actions []UpdateAction
+}
+
+// Incremental is an incrementally-maintained spectral sparsifier: the
+// public handle over inGRASS's setup + update phases.
+type Incremental struct {
+	inner *core.Sparsifier
+	opts  Options
+}
+
+// NewIncremental builds the initial sparsifier H(0) of g with the GRASS
+// baseline, then runs inGRASS's setup phase (LRD decomposition + multilevel
+// sketch) over it. g is captured by reference: AddEdges appends new edges
+// to it.
+func NewIncremental(g *Graph, opts Options) (*Incremental, error) {
+	opts = opts.normalized()
+	init, err := grass.Sparsify(g.g, grass.Config{
+		TargetDensity:    opts.InitialDensity,
+		Tree:             grass.TreeLowStretch,
+		SimilarityFilter: true,
+		Seed:             opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingrass: initial sparsifier: %w", err)
+	}
+	return NewIncrementalWith(g, wrap(init.H), opts)
+}
+
+// NewIncrementalWith runs the setup phase over a caller-provided initial
+// sparsifier h of g (use this to bring your own H(0)).
+func NewIncrementalWith(g, h *Graph, opts Options) (*Incremental, error) {
+	opts = opts.normalized()
+	inner, err := core.NewSparsifier(g.g, h.g, core.Config{
+		TargetCond: opts.TargetCond,
+		LRD:        opts.lrdConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{inner: inner, opts: opts}, nil
+}
+
+// AddEdges processes one batch of newly introduced edges: all are appended
+// to the original graph, and the sparsifier is updated per the inGRASS
+// filtering rules in O(log N) per edge.
+func (inc *Incremental) AddEdges(edges []Edge) (UpdateReport, error) {
+	batch := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		batch[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	decs, err := inc.inner.UpdateBatch(batch)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	rep := UpdateReport{Processed: len(decs), Actions: make([]UpdateAction, len(decs))}
+	for i, d := range decs {
+		switch d.Action {
+		case core.Included:
+			rep.Included++
+			rep.Actions[i] = ActionIncluded
+		case core.Merged:
+			rep.Merged++
+			rep.Actions[i] = ActionMerged
+		case core.Redistributed:
+			rep.Redistributed++
+			rep.Actions[i] = ActionRedistributed
+		}
+	}
+	return rep, nil
+}
+
+// DeleteReport summarizes one DeleteEdges batch.
+type DeleteReport struct {
+	Deleted int
+	// FromSparsifier counts deletions that hit sparsifier edges;
+	// Promoted counts replacement edges pulled into H to keep it spanning.
+	FromSparsifier int
+	Promoted       int
+}
+
+// DeleteEdges removes edges (identified by endpoints; the W field is
+// ignored) from the graph and the sparsifier. This extends the paper, which
+// handles insertions only: deletions are "soft" (the weight drops to a
+// spectrally negligible epsilon), and a deletion that would disconnect the
+// sparsifier promotes the most critical crossing edge as a replacement.
+// Call Compact periodically on deletion-heavy streams.
+func (inc *Incremental) DeleteEdges(edges []Edge) (DeleteReport, error) {
+	batch := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		batch[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	results, err := inc.inner.DeleteEdges(batch)
+	if err != nil {
+		return DeleteReport{}, err
+	}
+	rep := DeleteReport{Deleted: len(results)}
+	for _, r := range results {
+		if r.InSparsifier {
+			rep.FromSparsifier++
+		}
+		if r.Replacement >= 0 {
+			rep.Promoted++
+		}
+	}
+	return rep, nil
+}
+
+// Compact physically removes soft-deleted edges from both graphs and
+// re-runs the setup phase. Edge indices change; prior snapshots remain
+// valid copies.
+func (inc *Incremental) Compact() error { return inc.inner.CompactDeleted() }
+
+// Sparsifier returns the live sparsifier H. The returned handle shares
+// storage with the Incremental; clone it for a snapshot.
+func (inc *Incremental) Sparsifier() *Graph { return wrap(inc.inner.H) }
+
+// Original returns the live original graph G (including all added edges).
+func (inc *Incremental) Original() *Graph { return wrap(inc.inner.G) }
+
+// Density returns the current off-tree density of H relative to G.
+func (inc *Incremental) Density() float64 { return inc.inner.Density() }
+
+// FilterLevel returns the LRD level used by the similarity filter.
+func (inc *Incremental) FilterLevel() int { return inc.inner.FilterLevel() }
+
+// Resparsify rebuilds the setup-phase structures from the current H,
+// restoring embedding fidelity after long update streams.
+func (inc *Incremental) Resparsify() error { return inc.inner.Resparsify() }
+
+// ConditionNumber estimates the relative condition number kappa(L_G, L_H),
+// the spectral-similarity measure used throughout the paper (smaller is
+// better; 1 means spectrally identical). Both graphs must be connected and
+// share the node set.
+//
+// It follows the GRASS-line convention: kappa is the largest generalized
+// eigenvalue of the pencil (L_G, L_H), with the smallest clamped to 1 (for
+// a subgraph sparsifier it is exactly 1). Use ConditionNumberBounds for
+// the two-sided pencil.
+func ConditionNumber(g, h *Graph, seed uint64) (float64, error) {
+	res, err := cond.Estimate(g.g, h.g, cond.Options{Seed: seed, LambdaMaxOnly: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.Kappa, nil
+}
+
+// ConditionNumberBounds estimates both extreme generalized eigenvalues of
+// the pencil (L_G, L_H) and returns (lambdaMax, lambdaMin,
+// kappa = lambdaMax/lambdaMin). A weight-adjusted sparsifier can have
+// lambdaMin < 1, which this two-sided estimate exposes.
+func ConditionNumberBounds(g, h *Graph, seed uint64) (lambdaMax, lambdaMin, kappa float64, err error) {
+	res, err := cond.Estimate(g.g, h.g, cond.Options{Seed: seed})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.LambdaMax, res.LambdaMin, res.Kappa, nil
+}
