@@ -9,9 +9,19 @@
 //	ingrass update -in graph.txt -stream new_edges.txt -batches 10 \
 //	       -density 0.1 -out sparse.txt [-kappa]
 //
+// Solve the Laplacian system L_G x = b with a sparsifier preconditioner:
+//
+//	ingrass solve -in graph.txt -rhs b.txt [-sparsifier sparse.txt] [-out x.txt]
+//
+// Serve the concurrent sparsifier service over HTTP (batched writes,
+// snapshot-isolated reads):
+//
+//	ingrass serve -in graph.txt -addr :8080 -density 0.1
+//
 // Graph files use the text edge-list format ("N M" header then "u v w"
 // lines; '#' comments). The stream file is a headerless list of "u v w"
-// lines, split evenly into the requested number of batches.
+// lines, split evenly into the requested number of batches. RHS files hold
+// one value per node per line.
 package main
 
 import (
@@ -35,6 +45,10 @@ func main() {
 		cmdSparsify(os.Args[2:])
 	case "update":
 		cmdUpdate(os.Args[2:])
+	case "solve":
+		cmdSolve(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	case "info":
 		cmdInfo(os.Args[2:])
 	default:
@@ -48,6 +62,8 @@ func usage() {
 commands:
   sparsify   build a spectral sparsifier from scratch
   update     incrementally maintain a sparsifier over an edge stream
+  solve      solve the Laplacian system L x = b with a sparsifier preconditioner
+  serve      run the concurrent sparsifier service over HTTP
   info       print graph statistics`)
 	os.Exit(2)
 }

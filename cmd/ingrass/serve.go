@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"ingrass"
+)
+
+// cmdServe runs the HTTP front-end over a Service: snapshot-isolated reads
+// and batched asynchronous writes against a live incremental sparsifier.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "", "input graph file (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	density := fs.Float64("density", 0.1, "initial sparsifier density")
+	target := fs.Float64("target", 0, "target condition number (0 = default)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	maxBatch := fs.Int("max-batch", 128, "flush the write batch at this many edges")
+	flushEvery := fs.Duration("flush-interval", 2*time.Millisecond, "flush a non-empty batch after this interval")
+	_ = fs.Parse(args)
+	if *in == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	g := loadGraph(*in)
+	start := time.Now()
+	svc, err := ingrass.NewService(g, ingrass.ServiceOptions{
+		Options: ingrass.Options{
+			InitialDensity: *density,
+			TargetCond:     *target,
+			Seed:           *seed,
+		},
+		MaxBatch:      *maxBatch,
+		FlushInterval: *flushEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+	st := svc.Stats()
+	fmt.Printf("serving %s: %d nodes, %d edges, sparsifier %d edges (setup %v)\n",
+		*in, st.Nodes, st.GraphEdges, st.SparsifierEdges, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, newServeMux(svc)); err != nil {
+		fatal(err)
+	}
+}
+
+// edgeJSON is the wire form of one edge.
+type edgeJSON struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w,omitempty"`
+}
+
+type edgesRequest struct {
+	Edges []edgeJSON `json:"edges"`
+}
+
+type solveRequest struct {
+	B   []float64 `json:"b"`
+	Tol float64   `json:"tol,omitempty"`
+}
+
+type solveResponse struct {
+	X     []float64          `json:"x"`
+	Stats ingrass.SolveStats `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// newServeMux wires the service endpoints:
+//
+//	POST   /edges       {"edges":[{"u":0,"v":1,"w":1.0}]}  insert a batch
+//	DELETE /edges       {"edges":[{"u":0,"v":1}]}          delete a batch
+//	POST   /solve       {"b":[...], "tol":1e-8}            Laplacian solve
+//	GET    /sparsifier  ?gen=&format=text|json             export H
+//	GET    /resistance  ?u=&v=                             effective resistance
+//	GET    /stats                                          engine counters
+//	GET    /healthz                                        liveness
+func newServeMux(svc *ingrass.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	decodeEdges := func(w http.ResponseWriter, r *http.Request) ([]ingrass.Edge, bool) {
+		var req edgesRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return nil, false
+		}
+		if len(req.Edges) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("no edges in request"))
+			return nil, false
+		}
+		edges := make([]ingrass.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			edges[i] = ingrass.Edge{U: e.U, V: e.V, W: e.W}
+		}
+		return edges, true
+	}
+
+	mux.HandleFunc("POST /edges", func(w http.ResponseWriter, r *http.Request) {
+		edges, ok := decodeEdges(w, r)
+		if !ok {
+			return
+		}
+		res, err := svc.AddEdges(r.Context(), edges)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("DELETE /edges", func(w http.ResponseWriter, r *http.Request) {
+		edges, ok := decodeEdges(w, r)
+		if !ok {
+			return
+		}
+		res, err := svc.DeleteEdges(r.Context(), edges)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
+		var req solveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		x, stats, err := svc.Solve(req.B, req.Tol)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse{X: x, Stats: stats})
+	})
+
+	mux.HandleFunc("GET /sparsifier", func(w http.ResponseWriter, r *http.Request) {
+		var (
+			h   *ingrass.Graph
+			gen uint64
+		)
+		if q := r.URL.Query().Get("gen"); q != "" {
+			g64, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad gen: %w", err))
+				return
+			}
+			snap, ok := svc.SparsifierAt(g64)
+			if !ok {
+				writeError(w, http.StatusNotFound, fmt.Errorf("generation %d not retained", g64))
+				return
+			}
+			h, gen = snap, g64
+		} else {
+			h, gen = svc.SparsifierSnapshot()
+		}
+		if r.URL.Query().Get("format") == "json" {
+			edges := h.Edges()
+			out := make([]edgeJSON, len(edges))
+			for i, e := range edges {
+				out[i] = edgeJSON{U: e.U, V: e.V, W: e.W}
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"generation": gen,
+				"nodes":      h.NumNodes(),
+				"edges":      out,
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Ingrass-Generation", strconv.FormatUint(gen, 10))
+		if err := h.Write(w); err != nil {
+			// Headers are gone; nothing better to do than log.
+			fmt.Fprintf(os.Stderr, "ingrass: sparsifier export: %v\n", err)
+		}
+	})
+
+	mux.HandleFunc("GET /resistance", func(w http.ResponseWriter, r *http.Request) {
+		u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
+		v, err2 := strconv.Atoi(r.URL.Query().Get("v"))
+		if err1 != nil || err2 != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("u and v query parameters required"))
+			return
+		}
+		res, gen, err := svc.EffectiveResistance(u, v)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"u": u, "v": v, "resistance": res, "generation": gen,
+		})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ingrass"
+)
+
+func testService(t *testing.T) *ingrass.Service {
+	t.Helper()
+	const rows, cols = 6, 6
+	g := ingrass.NewGraph(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				if _, err := g.AddEdge(id(i, j), id(i, j+1), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i+1 < rows {
+				if _, err := g.AddEdge(id(i, j), id(i+1, j), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	svc, err := ingrass.NewService(g, ingrass.ServiceOptions{
+		Options: ingrass.Options{InitialDensity: 0.1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func doJSON(t *testing.T, srv *httptest.Server, method, path string, body any, out any) *http.Response {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	svc := testService(t)
+	srv := httptest.NewServer(newServeMux(svc))
+	defer srv.Close()
+
+	// Health.
+	resp := doJSON(t, srv, http.MethodGet, "/healthz", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Insert a batch.
+	var wr ingrass.WriteResult
+	resp = doJSON(t, srv, http.MethodPost, "/edges", edgesRequest{
+		Edges: []edgeJSON{{U: 0, V: 35, W: 2}, {U: 5, V: 30, W: 1.5}},
+	}, &wr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /edges: %d", resp.StatusCode)
+	}
+	if wr.Generation == 0 || wr.Included+wr.Merged+wr.Redistributed != 2 {
+		t.Fatalf("write result %+v", wr)
+	}
+
+	// Solve.
+	b := make([]float64, 36)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	var sr solveResponse
+	resp = doJSON(t, srv, http.MethodPost, "/solve", solveRequest{B: b, Tol: 1e-8}, &sr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /solve: %d", resp.StatusCode)
+	}
+	if !sr.Stats.Converged || len(sr.X) != 36 || sr.Stats.Generation != wr.Generation {
+		t.Fatalf("solve response stats %+v", sr.Stats)
+	}
+
+	// Resistance.
+	var rr map[string]any
+	resp = doJSON(t, srv, http.MethodGet, "/resistance?u=0&v=1", nil, &rr)
+	if resp.StatusCode != http.StatusOK || !(rr["resistance"].(float64) > 0) {
+		t.Fatalf("GET /resistance: %d %+v", resp.StatusCode, rr)
+	}
+
+	// Sparsifier as text: parses back as a graph over the same node set.
+	httpResp, err := srv.Client().Get(srv.URL + "/sparsifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpResp.Header.Get("X-Ingrass-Generation") == "" {
+		t.Fatal("missing generation header")
+	}
+	h, err := ingrass.ReadGraph(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatalf("sparsifier export did not round-trip: %v", err)
+	}
+	if h.NumNodes() != 36 || !h.IsConnected() {
+		t.Fatalf("exported sparsifier: %d nodes connected=%v", h.NumNodes(), h.IsConnected())
+	}
+
+	// Sparsifier as JSON, pinned to the write's generation.
+	var sp struct {
+		Generation uint64     `json:"generation"`
+		Nodes      int        `json:"nodes"`
+		Edges      []edgeJSON `json:"edges"`
+	}
+	resp = doJSON(t, srv, http.MethodGet, fmt.Sprintf("/sparsifier?format=json&gen=%d", wr.Generation), nil, &sp)
+	if resp.StatusCode != http.StatusOK || sp.Generation != wr.Generation || sp.Nodes != 36 || len(sp.Edges) == 0 {
+		t.Fatalf("GET /sparsifier json: %d %+v", resp.StatusCode, sp)
+	}
+
+	// Delete the inserted edge.
+	resp = doJSON(t, srv, http.MethodDelete, "/edges", edgesRequest{
+		Edges: []edgeJSON{{U: 0, V: 35}},
+	}, &wr)
+	if resp.StatusCode != http.StatusOK || wr.Deleted != 1 {
+		t.Fatalf("DELETE /edges: %d %+v", resp.StatusCode, wr)
+	}
+
+	// Stats reflect the traffic.
+	var st ingrass.ServiceStats
+	resp = doJSON(t, srv, http.MethodGet, "/stats", nil, &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats: %d", resp.StatusCode)
+	}
+	if st.Solves == 0 || st.WriteRequests < 2 || st.ResistanceQueries == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc := testService(t)
+	srv := httptest.NewServer(newServeMux(svc))
+	defer srv.Close()
+
+	// Malformed body.
+	resp, err := srv.Client().Post(srv.URL+"/edges", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", resp.StatusCode)
+	}
+
+	// Invalid edge (self-loop).
+	var e errorResponse
+	r := doJSON(t, srv, http.MethodPost, "/edges", edgesRequest{Edges: []edgeJSON{{U: 3, V: 3, W: 1}}}, &e)
+	if r.StatusCode != http.StatusUnprocessableEntity || e.Error == "" {
+		t.Fatalf("self-loop: %d %+v", r.StatusCode, e)
+	}
+
+	// Wrong-length RHS.
+	r = doJSON(t, srv, http.MethodPost, "/solve", solveRequest{B: []float64{1, 2, 3}}, &e)
+	if r.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("short rhs: %d", r.StatusCode)
+	}
+
+	// Evicted generation.
+	r = doJSON(t, srv, http.MethodGet, "/sparsifier?gen=999", nil, &e)
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing gen: %d", r.StatusCode)
+	}
+
+	// Unknown endpoint/method.
+	resp, err = srv.Client().Get(srv.URL + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /edges should not be routable")
+	}
+}

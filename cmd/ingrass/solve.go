@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ingrass"
+)
+
+// cmdSolve solves the Laplacian system L_G x = b with a sparsifier
+// preconditioner — the downstream application the library exists for.
+func cmdSolve(args []string) {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	in := fs.String("in", "", "input graph file (required)")
+	rhs := fs.String("rhs", "", "right-hand-side file, one value per node (required)")
+	sparsifier := fs.String("sparsifier", "", "sparsifier file (default: build one with -density)")
+	density := fs.Float64("density", 0.1, "sparsifier density when building one")
+	seed := fs.Uint64("seed", 1, "random seed")
+	tol := fs.Float64("tol", 1e-8, "relative residual target")
+	out := fs.String("out", "", "solution output file (default: stdout)")
+	_ = fs.Parse(args)
+	if *in == "" || *rhs == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	g := loadGraph(*in)
+	b := loadVector(*rhs)
+	if len(b) != g.NumNodes() {
+		fatal(fmt.Errorf("rhs has %d values for %d nodes", len(b), g.NumNodes()))
+	}
+
+	var h *ingrass.Graph
+	if *sparsifier != "" {
+		h = loadGraph(*sparsifier)
+	} else {
+		var err error
+		start := time.Now()
+		h, err = ingrass.Sparsify(g, *density, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "built sparsifier: %d -> %d edges in %v\n",
+			g.NumEdges(), h.NumEdges(), time.Since(start).Round(time.Millisecond))
+	}
+
+	start := time.Now()
+	x, stats, err := ingrass.SolveLaplacian(g, h, b, *tol)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "solve: %d iterations, residual %.3g, converged=%v, %d precond uses, %v\n",
+		stats.Iterations, stats.Residual, stats.Converged, stats.PrecondUses,
+		elapsed.Round(time.Microsecond))
+
+	var w *bufio.Writer
+	if *out == "" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	for _, v := range x {
+		fmt.Fprintf(w, "%.17g\n", v)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+// loadVector parses a file with one float per line ('#' comments allowed).
+func loadVector(path string) []float64 {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fatal(fmt.Errorf("%s:%d: parse error in %q", path, line, s))
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	return out
+}

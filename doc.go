@@ -28,6 +28,13 @@
 // deterministic generators for the benchmark families used in the paper's
 // evaluation (Generate).
 //
+// For concurrent consumers, Service wraps the incremental sparsifier in a
+// long-lived engine: reads (Solve, EffectiveResistance, ConditionNumber,
+// SparsifierSnapshot) run against immutable copy-on-write snapshots with
+// the preconditioner factorization cached per generation, while writes
+// (AddEdges, DeleteEdges) flow through a coalescing asynchronous batcher.
+// The same engine backs the HTTP front-end ("ingrass serve").
+//
 // # Architecture
 //
 // The public API wraps internal packages, each a self-contained substrate:
@@ -36,7 +43,8 @@
 // low-resistance-diameter decomposition (internal/lrd), the multilevel
 // cluster-connectivity sketch (internal/sketch), spanning trees
 // (internal/tree), the GRASS baseline (internal/grass), the inGRASS update
-// engine (internal/core), condition-number estimation (internal/cond), and
-// dataset generation (internal/gen). See DESIGN.md for the full inventory
-// and the per-experiment reproduction index.
+// engine (internal/core), condition-number estimation (internal/cond),
+// dataset generation (internal/gen), and the concurrent serving engine
+// (internal/service). See DESIGN.md for the full inventory and the
+// per-experiment reproduction index.
 package ingrass

@@ -1,0 +1,3 @@
+module ingrass
+
+go 1.24

@@ -1,0 +1,41 @@
+package core
+
+import "ingrass/internal/graph"
+
+// BatchResult reports one coalesced write batch.
+type BatchResult struct {
+	Additions []Decision
+	Deletions []DeleteResult
+}
+
+// ApplyBatch applies one coalesced write batch: all insertions in a single
+// UpdateBatch pass, then all deletions in a single DeleteEdges pass. The
+// concurrent service layer flushes its coalesced insertions through this
+// hook (it applies deletions per request instead, for exact error
+// isolation), and publishes a fresh snapshot only after the whole batch
+// lands, so readers never observe a half-applied batch.
+//
+// Ordering adds before deletes means a batch may insert an edge and delete
+// it again in the same flush. Each phase validates fully before mutating:
+// an invalid insertion fails the batch with nothing applied; an invalid
+// deletion fails after the additions have landed, and the returned
+// BatchResult still carries those applied additions so the caller can
+// account for them.
+func (s *Sparsifier) ApplyBatch(adds, dels []graph.Edge) (BatchResult, error) {
+	var res BatchResult
+	if len(adds) > 0 {
+		decs, err := s.UpdateBatch(adds)
+		if err != nil {
+			return res, err
+		}
+		res.Additions = decs
+	}
+	if len(dels) > 0 {
+		dres, err := s.DeleteEdges(dels)
+		if err != nil {
+			return res, err
+		}
+		res.Deletions = dres
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"ingrass/internal/graph"
+)
+
+func TestApplyBatchAddsThenDeletes(t *testing.T) {
+	g, s := setup(t, 8, 8, 0.1, 50)
+	n := g.NumNodes()
+	adds := []graph.Edge{
+		{U: 0, V: n - 1, W: 2},
+		{U: 1, V: n - 2, W: 1.5},
+	}
+	dels := []graph.Edge{
+		{U: 0, V: 1}, // a grid edge present in G from the start
+	}
+	before := s.Stats()
+	res, err := s.ApplyBatch(adds, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Additions) != len(adds) {
+		t.Fatalf("got %d add decisions, want %d", len(res.Additions), len(adds))
+	}
+	if len(res.Deletions) != len(dels) {
+		t.Fatalf("got %d delete results, want %d", len(res.Deletions), len(dels))
+	}
+	after := s.Stats()
+	if after.Processed != before.Processed+len(adds) {
+		t.Fatalf("processed %d -> %d", before.Processed, after.Processed)
+	}
+	if after.Deleted != before.Deleted+len(dels) {
+		t.Fatalf("deleted %d -> %d", before.Deleted, after.Deleted)
+	}
+}
+
+func TestApplyBatchDeleteOfSameBatchAdd(t *testing.T) {
+	g, s := setup(t, 6, 6, 0.1, 50)
+	n := g.NumNodes()
+	e := graph.Edge{U: 0, V: n - 1, W: 3}
+	res, err := s.ApplyBatch([]graph.Edge{e}, []graph.Edge{{U: e.U, V: e.V}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Additions) != 1 || len(res.Deletions) != 1 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+}
+
+func TestApplyBatchInvalidAddLeavesStateUntouched(t *testing.T) {
+	g, s := setup(t, 6, 6, 0.1, 50)
+	edges, weight := g.NumEdges(), g.TotalWeight()
+	_, err := s.ApplyBatch([]graph.Edge{{U: 0, V: 0, W: 1}}, nil)
+	if err == nil {
+		t.Fatal("want error for self-loop")
+	}
+	if g.NumEdges() != edges || g.TotalWeight() != weight {
+		t.Fatal("failed batch mutated G")
+	}
+}
+
+func TestApplyBatchInvalidDeleteReportsAppliedAdds(t *testing.T) {
+	g, s := setup(t, 6, 6, 0.1, 50)
+	n := g.NumNodes()
+	res, err := s.ApplyBatch(
+		[]graph.Edge{{U: 2, V: n - 3, W: 1}},
+		[]graph.Edge{{U: 0, V: 0}}, // invalid: no such edge
+	)
+	if err == nil {
+		t.Fatal("want error for bad deletion")
+	}
+	if len(res.Additions) != 1 {
+		t.Fatalf("applied additions not reported: %+v", res)
+	}
+}
+
+func TestApplyBatchEmpty(t *testing.T) {
+	_, s := setup(t, 4, 4, 0.1, 50)
+	res, err := s.ApplyBatch(nil, nil)
+	if err != nil || len(res.Additions) != 0 || len(res.Deletions) != 0 {
+		t.Fatalf("empty batch: %+v, %v", res, err)
+	}
+}

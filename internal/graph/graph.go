@@ -57,6 +57,9 @@ type Graph struct {
 	adj [][]Arc
 	// totalWeight caches the sum of all edge weights.
 	totalWeight float64
+	// shared marks the edge and adjacency storage as shared with at least
+	// one copy-on-write snapshot; the next mutation copies before writing.
+	shared bool
 }
 
 // Arc is one directed half of an undirected edge as seen from a node's
@@ -109,8 +112,51 @@ func (g *Graph) WeightedDegree(u int) float64 {
 	return s
 }
 
+// Snapshot returns an immutable-by-convention copy-on-write view of g in
+// O(1): both graphs share the edge and adjacency storage until either side
+// mutates, at which point the mutating side deep-copies its storage first
+// (one O(N+E) copy per snapshot generation, amortized over the whole write
+// batch that follows). Snapshots are safe to read from any number of
+// goroutines while the live graph keeps mutating, which is what the
+// concurrent service layer relies on for snapshot-isolated queries.
+func (g *Graph) Snapshot() *Graph {
+	// Only write the flag when it actually flips: snapshots of an
+	// already-shared graph (e.g. handing a published service snapshot to an
+	// API caller) may be taken from many goroutines at once, and skipping
+	// the redundant store keeps that path write-free.
+	if !g.shared {
+		g.shared = true
+	}
+	return &Graph{
+		n:           g.n,
+		edges:       g.edges,
+		adj:         g.adj,
+		totalWeight: g.totalWeight,
+		shared:      true,
+	}
+}
+
+// unshare deep-copies storage shared with snapshots so an impending
+// mutation cannot be observed by concurrent snapshot readers.
+func (g *Graph) unshare() {
+	if !g.shared {
+		return
+	}
+	// Leave growth headroom: unshare is usually triggered by the first
+	// AddEdge of a write batch, and an exact-capacity copy would reallocate
+	// again on the very next append.
+	g.edges = append(make([]Edge, 0, len(g.edges)+len(g.edges)/8+8), g.edges...)
+	adj := make([][]Arc, len(g.adj))
+	for u := range g.adj {
+		adj[u] = append([]Arc(nil), g.adj[u]...)
+	}
+	g.adj = adj
+	g.shared = false
+}
+
 // AddNode appends a new isolated node and returns its identifier.
 func (g *Graph) AddNode() int {
+	g.unshare()
 	g.adj = append(g.adj, nil)
 	g.n++
 	return g.n - 1
@@ -130,6 +176,7 @@ func (g *Graph) AddEdge(u, v int, w float64) int {
 	if !(w > 0) || math.IsInf(w, 0) {
 		panic(fmt.Sprintf("graph: edge weight %v must be positive and finite", w))
 	}
+	g.unshare()
 	idx := len(g.edges)
 	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
 	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: idx})
@@ -143,6 +190,7 @@ func (g *Graph) SetWeight(i int, w float64) {
 	if !(w > 0) || math.IsInf(w, 0) {
 		panic(fmt.Sprintf("graph: edge weight %v must be positive and finite", w))
 	}
+	g.unshare()
 	g.totalWeight += w - g.edges[i].W
 	g.edges[i].W = w
 }

@@ -1,0 +1,49 @@
+package precond
+
+import (
+	"fmt"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/sparse"
+)
+
+// Factorization is the reusable, immutable half of a sparsifier
+// preconditioner: the frozen CSR view of H and the solve configuration.
+// Building it is the expensive part of precond.New (O(N+E) CSR assembly);
+// everything it holds is read-only afterwards, so one Factorization can
+// back any number of concurrent solves. The service layer builds one per
+// snapshot generation and keys its cache on that generation, which is how
+// repeated solves against an unchanged graph skip re-factorization.
+type Factorization struct {
+	n    int
+	hop  *sparse.LapOperator
+	opts Options
+}
+
+// Factorize freezes the sparsifier h into a reusable preconditioner
+// factorization. opts mirrors New.
+func Factorize(h *graph.Graph, opts Options) (*Factorization, error) {
+	if h.NumNodes() == 0 {
+		return nil, fmt.Errorf("precond: empty sparsifier")
+	}
+	hop := sparse.NewLapOperator(h)
+	hop.Workers = opts.Workers
+	return &Factorization{n: h.NumNodes(), hop: hop, opts: opts.withDefaults()}, nil
+}
+
+// Dim returns the node count of the factorized sparsifier.
+func (f *Factorization) Dim() int { return f.n }
+
+// NewSolver returns a goroutine-confined preconditioner handle over the
+// shared factorization. It only allocates scratch vectors — no CSR pass —
+// so per-solve instantiation costs O(N) allocation, not O(N+E) setup. The
+// returned Sparsifier must not be shared across goroutines (it carries
+// scratch state and counters); the Factorization itself may be.
+func (f *Factorization) NewSolver() *Sparsifier {
+	return &Sparsifier{
+		solver: sparse.NewLaplacianSolverFromOperator(f.hop, &sparse.CGOptions{
+			Tol:     f.opts.InnerTol,
+			MaxIter: f.opts.InnerIters,
+		}),
+	}
+}

@@ -1,0 +1,105 @@
+package precond
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/sparse"
+	"ingrass/internal/vecmath"
+)
+
+// ring builds a weighted cycle with a few chords: connected, well-conditioned.
+func ring(n int) *graph.Graph {
+	g := graph.New(n, 2*n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1+float64(i%3))
+	}
+	for i := 0; i < n; i += 5 {
+		g.AddEdge(i, (i+n/2)%n, 0.5)
+	}
+	return g
+}
+
+func rhsFor(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	vecmath.CenterMean(b)
+	return b
+}
+
+func TestFactorizeMatchesDirectPath(t *testing.T) {
+	g := ring(60)
+	h := g // self-preconditioning is fine for an equivalence check
+	b := rhsFor(60)
+
+	direct, err := New(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xDirect := make([]float64, 60)
+	resDirect, err := direct.Solve(g, xDirect, b, &sparse.CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("direct solve: %v", err)
+	}
+
+	fact, err := Factorize(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xFact := make([]float64, 60)
+	resFact, err := fact.NewSolver().SolveSystem(sparse.NewLapOperator(g), xFact, b, &sparse.CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("factorized solve: %v", err)
+	}
+	if !resDirect.Outer.Converged || !resFact.Outer.Converged {
+		t.Fatalf("convergence: direct=%v fact=%v", resDirect.Outer.Converged, resFact.Outer.Converged)
+	}
+	for i := range xDirect {
+		if math.Abs(xDirect[i]-xFact[i]) > 1e-6 {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, xDirect[i], xFact[i])
+		}
+	}
+}
+
+// TestFactorizationConcurrentSolves shares one factorization across many
+// goroutines, each with a private solver handle, under the race detector.
+func TestFactorizationConcurrentSolves(t *testing.T) {
+	g := ring(80)
+	fact, err := Factorize(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gop := sparse.NewLapOperator(g)
+	b := rhsFor(80)
+
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				x := make([]float64, 80)
+				res, err := fact.NewSolver().SolveSystem(gop, x, b, &sparse.CGOptions{Tol: 1e-8})
+				if err != nil || !res.Outer.Converged {
+					t.Errorf("concurrent solve failed: %v (converged=%v)", err, res.Outer.Converged)
+					return
+				}
+				if res.InnerUses <= 0 {
+					t.Errorf("preconditioner was never applied")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFactorizeEmpty(t *testing.T) {
+	if _, err := Factorize(graph.New(0, 0), Options{}); err == nil {
+		t.Fatal("want error for empty sparsifier")
+	}
+}

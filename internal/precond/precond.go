@@ -79,7 +79,15 @@ type SolveResult struct {
 // mean-centered internally (Laplacian systems are only consistent on the
 // complement of ones); the solution is mean-zero.
 func (p *Sparsifier) Solve(g *graph.Graph, x, b []float64, opts *sparse.CGOptions) (SolveResult, error) {
-	op := &sparse.ProjectedOperator{Inner: sparse.NewLapOperator(g)}
+	return p.SolveSystem(sparse.NewLapOperator(g), x, b, opts)
+}
+
+// SolveSystem is Solve with a caller-provided frozen system operator,
+// letting repeated solves against the same G skip the per-call CSR
+// construction (the service layer caches one operator per snapshot
+// generation).
+func (p *Sparsifier) SolveSystem(sys sparse.Operator, x, b []float64, opts *sparse.CGOptions) (SolveResult, error) {
+	op := &sparse.ProjectedOperator{Inner: sys}
 	rhs := append([]float64(nil), b...)
 	vecmath.CenterMean(rhs)
 	vecmath.Zero(x)

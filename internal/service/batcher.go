@@ -1,0 +1,309 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ingrass/internal/core"
+	"ingrass/internal/graph"
+)
+
+// ErrClosed is returned for writes enqueued after Close.
+var ErrClosed = errors.New("service: engine closed")
+
+// errEmptyBatch rejects write requests that carry no edges.
+var errEmptyBatch = errors.New("service: empty edge batch")
+
+type opKind int
+
+const (
+	opAdd opKind = iota
+	opDelete
+	opBarrier
+)
+
+// WriteResult reports one completed write request.
+type WriteResult struct {
+	// Generation is the snapshot generation in which the write became
+	// visible to readers.
+	Generation uint64
+	// Add-path counters (per the inGRASS filter).
+	Included, Merged, Redistributed int
+	// Delete-path counters.
+	Deleted, Promoted int
+}
+
+// Pending is the future completed when a write request's batch flushes.
+type Pending struct {
+	done chan struct{}
+	res  WriteResult
+	err  error
+}
+
+func newPending() *Pending { return &Pending{done: make(chan struct{})} }
+
+// Done is closed once the request has been applied (or rejected).
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the request completes or ctx is cancelled.
+func (p *Pending) Wait(ctx context.Context) (WriteResult, error) {
+	select {
+	case <-p.done:
+		return p.res, p.err
+	case <-ctx.Done():
+		return WriteResult{}, ctx.Err()
+	}
+}
+
+// Result returns the outcome; it must only be called after Done is closed.
+func (p *Pending) Result() (WriteResult, error) { return p.res, p.err }
+
+func (p *Pending) complete(res WriteResult, err error) {
+	p.res, p.err = res, err
+	close(p.done)
+}
+
+type request struct {
+	kind  opKind
+	edges []graph.Edge
+	p     *Pending
+}
+
+// run is the single writer goroutine: it drains the request channel,
+// coalesces requests until the batch reaches MaxBatch edges or the flush
+// window elapses, applies each batch under the write lock (all insertions
+// through one core.ApplyBatch pass; deletions per request, for exact error
+// isolation), publishes a fresh snapshot, and completes the futures.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	var (
+		batch      []*request
+		batchEdges int
+		timer      *time.Timer
+		timerC     <-chan time.Time
+	)
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	flush := func() {
+		stopTimer()
+		if len(batch) > 0 {
+			e.flush(batch)
+			batch, batchEdges = nil, 0
+		}
+	}
+	accept := func(r *request) {
+		batch = append(batch, r)
+		batchEdges += len(r.edges)
+		if r.kind == opBarrier || batchEdges >= e.opts.MaxBatch {
+			flush()
+			return
+		}
+		if timer == nil {
+			timer = time.NewTimer(e.opts.FlushInterval)
+			timerC = timer.C
+		}
+	}
+	for {
+		select {
+		case r := <-e.reqs:
+			accept(r)
+		case <-timerC:
+			timer, timerC = nil, nil
+			flush()
+		case <-e.quit:
+			// Graceful shutdown: drain whatever is already enqueued and
+			// flush it, so accepted writes are never silently dropped.
+			for {
+				select {
+				case r := <-e.reqs:
+					batch = append(batch, r)
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// edgeKey identifies an edge payload for attributing coalesced decisions
+// back to the requests that carried them.
+type edgeKey struct {
+	u, v int
+	w    float64
+}
+
+// flush applies one coalesced batch and publishes the resulting snapshot.
+func (e *Engine) flush(batch []*request) {
+	var adds, dels []graph.Edge
+	n := e.nodeCount()
+	for _, r := range batch {
+		switch r.kind {
+		case opAdd:
+			// Static validation up front so one malformed request fails
+			// alone instead of poisoning the coalesced UpdateBatch.
+			if err := validateAdds(r.edges, n); err != nil {
+				r.p.complete(WriteResult{}, err)
+				e.stats.writeErrors.Add(1)
+				e.stats.queueDepth.Add(-1)
+				r.kind, r.p = opBarrier, nil // consumed; skip during application
+				continue
+			}
+			adds = append(adds, r.edges...)
+		case opDelete:
+			dels = append(dels, r.edges...)
+		}
+	}
+
+	e.mu.Lock()
+	var (
+		decisions []decisionLite
+		addErr    error
+	)
+	if len(adds) > 0 {
+		res, err := e.sp.ApplyBatch(adds, nil)
+		if err != nil {
+			// Should be unreachable given the static validation above, but
+			// fail the whole add phase rather than guessing.
+			addErr = err
+		} else {
+			decs := res.Additions
+			decisions = make([]decisionLite, 0, len(decs))
+			for _, d := range decs {
+				decisions = append(decisions, decisionLite{
+					key:    edgeKey{u: d.Edge.U, v: d.Edge.V, w: d.Edge.W},
+					action: d.Action,
+				})
+			}
+		}
+	}
+	byKey := make(map[edgeKey][]int)
+	for i, d := range decisions {
+		byKey[d.key] = append(byKey[d.key], i)
+	}
+
+	// Delete requests apply per request: deletion validation depends on the
+	// evolving state (an edge deleted by an earlier request in the same
+	// flush must fail the later duplicate), and per-request application
+	// gives exact error isolation at delete-stream rates.
+	type delOutcome struct {
+		res WriteResult
+		err error
+	}
+	delResults := make(map[*request]delOutcome)
+	for _, r := range batch {
+		if r.kind != opDelete {
+			continue
+		}
+		out := delOutcome{}
+		results, err := e.sp.DeleteEdges(r.edges)
+		if err != nil {
+			out.err = err
+		} else {
+			out.res.Deleted = len(results)
+			for _, dr := range results {
+				if dr.Replacement >= 0 {
+					out.res.Promoted++
+				}
+			}
+		}
+		delResults[r] = out
+	}
+
+	mutated := len(adds) > 0 && addErr == nil
+	for _, out := range delResults {
+		if out.err == nil {
+			mutated = true
+		}
+	}
+	snap := e.reg.Current()
+	if mutated {
+		snap = e.publishLocked()
+	}
+	e.mu.Unlock()
+
+	// Complete futures outside the write lock.
+	for _, r := range batch {
+		switch r.kind {
+		case opAdd:
+			res := WriteResult{Generation: snap.Gen}
+			var err error
+			if addErr != nil {
+				err = addErr
+			} else {
+				for _, edge := range r.edges {
+					k := edgeKey{u: edge.U, v: edge.V, w: edge.W}
+					idxs := byKey[k]
+					if len(idxs) == 0 {
+						err = fmt.Errorf("service: internal: decision missing for edge %+v", edge)
+						break
+					}
+					d := decisions[idxs[0]]
+					byKey[k] = idxs[1:]
+					switch d.action {
+					case core.Included:
+						res.Included++
+					case core.Merged:
+						res.Merged++
+					case core.Redistributed:
+						res.Redistributed++
+					}
+				}
+			}
+			if err != nil {
+				e.stats.writeErrors.Add(1)
+				r.p.complete(WriteResult{}, err)
+			} else {
+				e.stats.flushedAdds.Add(uint64(len(r.edges)))
+				r.p.complete(res, nil)
+			}
+			e.stats.queueDepth.Add(-1)
+		case opDelete:
+			out := delResults[r]
+			out.res.Generation = snap.Gen
+			if out.err != nil {
+				e.stats.writeErrors.Add(1)
+				r.p.complete(WriteResult{}, out.err)
+			} else {
+				e.stats.flushedDeletes.Add(uint64(len(r.edges)))
+				r.p.complete(out.res, nil)
+			}
+			e.stats.queueDepth.Add(-1)
+		case opBarrier:
+			if r.p != nil {
+				r.p.complete(WriteResult{Generation: snap.Gen}, nil)
+				e.stats.queueDepth.Add(-1)
+			}
+		}
+	}
+	e.stats.flushes.Add(1)
+}
+
+type decisionLite struct {
+	key    edgeKey
+	action core.Action
+}
+
+func validateAdds(edges []graph.Edge, n int) error {
+	if len(edges) == 0 {
+		return errEmptyBatch
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return fmt.Errorf("service: endpoint out of range: (%d, %d) with %d nodes", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("service: self-loop (%d, %d) rejected", e.U, e.V)
+		}
+		if !(e.W > 0) {
+			return fmt.Errorf("service: weight %v must be positive", e.W)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"ingrass/internal/core"
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+	"ingrass/internal/vecmath"
+)
+
+func grid(r, c int) *graph.Graph {
+	g := graph.New(r*c, 2*r*c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+		}
+	}
+	return g
+}
+
+func newEngine(t testing.TB, rows, cols int, opts Options) *Engine {
+	t.Helper()
+	g := grid(rows, cols)
+	init, err := grass.InitialSparsifier(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := core.NewSparsifier(g, init.H, core.Config{
+		TargetCond: 50,
+		LRD:        lrd.Config{Krylov: krylov.Config{Seed: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sp, opts)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func ctxT(t testing.TB) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestWriteBecomesVisibleAfterFlush(t *testing.T) {
+	e := newEngine(t, 8, 8, Options{})
+	ctx := ctxT(t)
+	snap0 := e.Current()
+	if snap0.Gen != 0 {
+		t.Fatalf("initial generation %d", snap0.Gen)
+	}
+	edges0 := snap0.G.NumEdges()
+
+	res, err := e.Add(ctx, []graph.Edge{{U: 0, V: 63, W: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation == 0 {
+		t.Fatalf("write completed without a generation bump: %+v", res)
+	}
+	if got := res.Included + res.Merged + res.Redistributed; got != 1 {
+		t.Fatalf("one edge should yield one decision, got %+v", res)
+	}
+	snap1 := e.Current()
+	if snap1.Gen < res.Generation {
+		t.Fatalf("current gen %d behind write gen %d", snap1.Gen, res.Generation)
+	}
+	if snap1.G.NumEdges() != edges0+1 {
+		t.Fatalf("G edges %d -> %d, want +1", edges0, snap1.G.NumEdges())
+	}
+	// The old snapshot is untouched.
+	if snap0.G.NumEdges() != edges0 {
+		t.Fatal("generation-0 snapshot mutated")
+	}
+}
+
+func TestCoalescingSingleFlush(t *testing.T) {
+	// Long interval + large MaxBatch: nothing flushes until the barrier.
+	e := newEngine(t, 6, 6, Options{MaxBatch: 10_000, FlushInterval: time.Hour})
+	ctx := ctxT(t)
+	var pendings []*Pending
+	for i := 0; i < 20; i++ {
+		p, err := e.AddAsync([]graph.Edge{{U: i % 36, V: (i + 7) % 36, W: 1 + float64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	if err := e.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	gens := map[uint64]bool{}
+	for _, p := range pendings {
+		res, err := p.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens[res.Generation] = true
+	}
+	if len(gens) != 1 {
+		t.Fatalf("coalesced writes landed in %d generations, want 1", len(gens))
+	}
+	if st := e.Stats(); st.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", st.Flushes)
+	}
+}
+
+func TestErrorIsolation(t *testing.T) {
+	e := newEngine(t, 6, 6, Options{MaxBatch: 10_000, FlushInterval: time.Hour})
+	ctx := ctxT(t)
+	good, err := e.AddAsync([]graph.Edge{{U: 0, V: 35, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting a nonexistent edge fails at flush time; it must not poison
+	// the coalesced good request.
+	bad, err := e.DeleteAsync([]graph.Edge{{U: 0, V: 34}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := good.Wait(ctx); err != nil {
+		t.Fatalf("good request failed: %v", err)
+	}
+	if _, err := bad.Wait(ctx); err == nil {
+		t.Fatal("bad delete unexpectedly succeeded")
+	}
+	if st := e.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("write errors = %d, want 1", st.WriteErrors)
+	}
+}
+
+func TestAddValidationUpFront(t *testing.T) {
+	e := newEngine(t, 4, 4, Options{})
+	if _, err := e.AddAsync([]graph.Edge{{U: 0, V: 0, W: 1}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := e.AddAsync([]graph.Edge{{U: 0, V: 99, W: 1}}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if _, err := e.AddAsync(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestDeleteFlow(t *testing.T) {
+	e := newEngine(t, 6, 6, Options{})
+	ctx := ctxT(t)
+	if _, err := e.Add(ctx, []graph.Edge{{U: 0, V: 35, W: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Delete(ctx, []graph.Edge{{U: 0, V: 35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 {
+		t.Fatalf("deleted = %d, want 1", res.Deleted)
+	}
+	if cs := e.CoreStats(); cs.Deleted != 1 {
+		t.Fatalf("core deleted = %d", cs.Deleted)
+	}
+}
+
+func TestRegistryRetention(t *testing.T) {
+	e := newEngine(t, 6, 6, Options{Retain: 2})
+	ctx := ctxT(t)
+	for i := 0; i < 4; i++ {
+		if _, err := e.Add(ctx, []graph.Edge{{U: i, V: 35 - i, W: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := e.Current()
+	if _, ok := e.At(cur.Gen); !ok {
+		t.Fatal("current generation not addressable")
+	}
+	if _, ok := e.At(0); ok {
+		t.Fatal("generation 0 should have been evicted with Retain=2")
+	}
+	gens := e.Generations()
+	if len(gens) != 2 {
+		t.Fatalf("retained %d generations, want 2: %v", len(gens), gens)
+	}
+}
+
+func TestSolveAgainstSnapshot(t *testing.T) {
+	e := newEngine(t, 8, 8, Options{})
+	snap := e.Current()
+	n := snap.G.NumNodes()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Cos(float64(3 * i))
+	}
+	vecmath.CenterMean(b)
+	x, st, err := snap.Solve(b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Generation != snap.Gen || st.PrecondUses <= 0 {
+		t.Fatalf("solve stats: %+v", st)
+	}
+	// Check the residual directly against the snapshot Laplacian.
+	r := make([]float64, n)
+	snap.G.LapMul(r, x)
+	vecmath.Sub(r, b, r)
+	if rel := vecmath.Norm2(r) / vecmath.Norm2(b); rel > 1e-6 {
+		t.Fatalf("relative residual %v", rel)
+	}
+}
+
+func TestPrecondCachePerGeneration(t *testing.T) {
+	e := newEngine(t, 8, 8, Options{})
+	snap := e.Current()
+	b := make([]float64, snap.G.NumNodes())
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	vecmath.CenterMean(b)
+	before := e.Stats()
+	const solves = 8
+	for i := 0; i < solves; i++ {
+		if _, _, err := snap.Solve(b, 1e-8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Stats()
+	if builds := after.PrecondBuilds - before.PrecondBuilds; builds != 1 {
+		t.Fatalf("%d factorizations for %d solves on one generation, want 1", builds, solves)
+	}
+	if reuses := after.PrecondReuses - before.PrecondReuses; reuses != solves-1 {
+		t.Fatalf("%d reuses, want %d", reuses, solves-1)
+	}
+}
+
+func TestEffectiveResistance(t *testing.T) {
+	e := newEngine(t, 6, 6, Options{})
+	snap := e.Current()
+	r, err := snap.EffectiveResistance(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0 || r >= 1 {
+		// Adjacent unit-weight grid nodes: parallel paths force R < 1.
+		t.Fatalf("resistance %v out of (0, 1)", r)
+	}
+	rBack, err := snap.EffectiveResistance(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-rBack) > 1e-6 {
+		t.Fatalf("asymmetric resistance: %v vs %v", r, rBack)
+	}
+	if same, err := snap.EffectiveResistance(3, 3); err != nil || same != 0 {
+		t.Fatalf("self resistance: %v, %v", same, err)
+	}
+	if _, err := snap.EffectiveResistance(-1, 2); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+func TestConditionNumberOnSnapshot(t *testing.T) {
+	e := newEngine(t, 6, 6, Options{})
+	k, err := e.Current().ConditionNumber(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 || math.IsInf(k, 0) || math.IsNaN(k) {
+		t.Fatalf("kappa = %v", k)
+	}
+}
+
+func TestCloseRejectsNewWritesAndFlushesPending(t *testing.T) {
+	e := newEngine(t, 6, 6, Options{MaxBatch: 10_000, FlushInterval: time.Hour})
+	p, err := e.AddAsync([]graph.Edge{{U: 0, V: 35, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if _, err := p.Result(); err != nil {
+		t.Fatalf("pending write dropped at close: %v", err)
+	}
+	if _, err := e.AddAsync([]graph.Edge{{U: 1, V: 34, W: 1}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close write: %v", err)
+	}
+	if err := e.Flush(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close flush: %v", err)
+	}
+	e.Close() // idempotent
+}
+
+func TestMaxBatchTriggersFlush(t *testing.T) {
+	e := newEngine(t, 6, 6, Options{MaxBatch: 4, FlushInterval: time.Hour})
+	ctx := ctxT(t)
+	edges := []graph.Edge{
+		{U: 0, V: 20, W: 1}, {U: 1, V: 21, W: 1},
+		{U: 2, V: 22, W: 1}, {U: 3, V: 23, W: 1},
+	}
+	// 4 edges reach MaxBatch: the flush happens without barrier or timer.
+	res, err := e.Add(ctx, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation == 0 {
+		t.Fatal("batch did not flush on MaxBatch")
+	}
+}

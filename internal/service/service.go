@@ -1,0 +1,216 @@
+// Package service turns the single-threaded inGRASS sparsifier (internal/
+// core) into a long-lived concurrent engine: many readers issue Laplacian
+// solves, effective-resistance queries, condition-number checks, and
+// sparsifier exports against immutable copy-on-write snapshots, while one
+// writer goroutine drains a coalescing batcher that applies insert/delete
+// requests in batches (flushed by edge count or time window), bumps the
+// snapshot generation, and completes futures back to the callers.
+//
+// The concurrency architecture, in one paragraph: core.Sparsifier is the
+// only mutable state and is touched exclusively by the batcher goroutine
+// under Engine.mu. After each applied batch the engine takes O(1)
+// copy-on-write snapshots of G and H (internal/graph.Snapshot) and
+// publishes them through a registry; readers grab the current Snapshot and
+// run entirely against it, so a read is isolated from every later write.
+// The per-snapshot preconditioner factorization (internal/precond.
+// Factorize) is built lazily once per generation and shared by all of that
+// generation's solves — repeated solves on an unchanged graph skip the
+// O(N+E) setup entirely, which the PrecondBuilds/PrecondReuses counters
+// make observable.
+package service
+
+import (
+	"context"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"ingrass/internal/core"
+	"ingrass/internal/graph"
+	"ingrass/internal/precond"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// MaxBatch flushes the write batch once it holds this many edges.
+	// Default 128.
+	MaxBatch int
+	// FlushInterval flushes a non-empty batch after this much time even if
+	// MaxBatch was not reached. Default 2ms.
+	FlushInterval time.Duration
+	// QueueCapacity bounds enqueued-but-unflushed write requests; further
+	// writers block (backpressure). Default 1024.
+	QueueCapacity int
+	// Retain is how many recent snapshots stay addressable by generation.
+	// Default 4.
+	Retain int
+	// Precond configures the per-snapshot preconditioner factorization.
+	Precond precond.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 128
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Millisecond
+	}
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 1024
+	}
+	if o.Retain <= 0 {
+		o.Retain = 4
+	}
+	return o
+}
+
+// Engine is the concurrent sparsifier service around one core.Sparsifier.
+// Create it with New, write through Add/Delete (or their Async variants),
+// read through Current()/At() snapshots, and Close it when done.
+type Engine struct {
+	opts  Options
+	sp    *core.Sparsifier
+	mu    sync.Mutex // guards sp and snapshot publication
+	reg   *Registry
+	stats Stats
+
+	reqs chan *request
+	quit chan struct{}
+	wg   sync.WaitGroup
+	// sendMu serializes enqueues against Close: Close takes the write side
+	// once, after which no request can slip into the channel behind the
+	// batcher's final drain and strand its future.
+	sendMu sync.RWMutex
+	closed atomic.Bool
+}
+
+// New wraps an already-set-up sparsifier in an engine and publishes the
+// generation-0 snapshot. The engine takes ownership of sp: the caller must
+// not touch it (or its graphs) afterwards.
+func New(sp *core.Sparsifier, opts Options) *Engine {
+	e := &Engine{
+		opts: opts.withDefaults(),
+		sp:   sp,
+		quit: make(chan struct{}),
+	}
+	e.reqs = make(chan *request, e.opts.QueueCapacity)
+	e.reg = NewRegistry(e.opts.Retain)
+	e.reg.Publish(newSnapshot(0, sp.G.Snapshot(), sp.H.Snapshot(), &e.stats, e.opts.Precond))
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// publishLocked bumps the generation and installs a fresh snapshot pair.
+// Callers hold e.mu.
+func (e *Engine) publishLocked() *Snapshot {
+	gen := e.stats.generation.Add(1)
+	snap := newSnapshot(gen, e.sp.G.Snapshot(), e.sp.H.Snapshot(), &e.stats, e.opts.Precond)
+	e.reg.Publish(snap)
+	return snap
+}
+
+// nodeCount reads the (append-only) node count for static validation.
+func (e *Engine) nodeCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sp.G.NumNodes()
+}
+
+// Current returns the latest published snapshot.
+func (e *Engine) Current() *Snapshot { return e.reg.Current() }
+
+// At returns a retained snapshot by generation.
+func (e *Engine) At(gen uint64) (*Snapshot, bool) { return e.reg.At(gen) }
+
+// Generations lists the retained snapshot generations, oldest first.
+func (e *Engine) Generations() []uint64 { return e.reg.Generations() }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() StatsView { return e.stats.View() }
+
+// CoreStats returns the underlying sparsifier's cumulative update counters.
+func (e *Engine) CoreStats() core.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sp.Stats()
+}
+
+func (e *Engine) enqueue(kind opKind, edges []graph.Edge) (*Pending, error) {
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	r := &request{kind: kind, edges: edges, p: newPending()}
+	e.stats.writeRequests.Add(1)
+	e.stats.queueDepth.Add(1)
+	select {
+	case e.reqs <- r:
+		return r.p, nil
+	case <-e.quit:
+		e.stats.queueDepth.Add(-1)
+		return nil, ErrClosed
+	}
+}
+
+// AddAsync enqueues an insertion request and returns its future. The edge
+// slice is captured; the caller must not reuse it.
+func (e *Engine) AddAsync(edges []graph.Edge) (*Pending, error) {
+	if err := validateAdds(edges, e.nodeCount()); err != nil {
+		return nil, err
+	}
+	return e.enqueue(opAdd, edges)
+}
+
+// DeleteAsync enqueues a deletion request (edges identified by endpoints).
+func (e *Engine) DeleteAsync(edges []graph.Edge) (*Pending, error) {
+	if len(edges) == 0 {
+		return nil, errEmptyBatch
+	}
+	return e.enqueue(opDelete, edges)
+}
+
+// Add enqueues an insertion and waits for its flush.
+func (e *Engine) Add(ctx context.Context, edges []graph.Edge) (WriteResult, error) {
+	p, err := e.AddAsync(edges)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	return p.Wait(ctx)
+}
+
+// Delete enqueues a deletion and waits for its flush.
+func (e *Engine) Delete(ctx context.Context, edges []graph.Edge) (WriteResult, error) {
+	p, err := e.DeleteAsync(edges)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	return p.Wait(ctx)
+}
+
+// Flush enqueues a barrier and waits until every write enqueued before it
+// has been applied and published.
+func (e *Engine) Flush(ctx context.Context) error {
+	p, err := e.enqueue(opBarrier, nil)
+	if err != nil {
+		return err
+	}
+	_, err = p.Wait(ctx)
+	return err
+}
+
+// Close stops the batcher after flushing already-enqueued writes. Further
+// writes fail with ErrClosed; reads against existing snapshots keep
+// working.
+func (e *Engine) Close() {
+	e.sendMu.Lock()
+	already := e.closed.Swap(true)
+	e.sendMu.Unlock()
+	if already {
+		return
+	}
+	close(e.quit)
+	e.wg.Wait()
+}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"ingrass/internal/cond"
+	"ingrass/internal/graph"
+	"ingrass/internal/precond"
+	"ingrass/internal/sparse"
+)
+
+// Snapshot is one immutable generation of the service's state: copy-on-write
+// views of the original graph G and the sparsifier H taken after a write
+// batch fully landed, plus a lazily-built, generation-cached preconditioner
+// factorization. All read operations (solves, resistance queries,
+// condition-number checks, exports) run against a Snapshot and therefore
+// never observe a half-applied batch.
+type Snapshot struct {
+	// Gen is the generation number: it increments once per applied write
+	// batch.
+	Gen uint64
+	// G and H are the frozen original graph and sparsifier for this
+	// generation. They must be treated as read-only.
+	G, H *graph.Graph
+
+	stats *Stats
+	popts precond.Options
+
+	// The factorized preconditioner and the frozen system operator are
+	// built on first use and shared by every subsequent solve on this
+	// generation — the "skip setup on repeated solves" cache.
+	once    sync.Once
+	gop     *sparse.LapOperator
+	fact    *precond.Factorization
+	factErr error
+}
+
+func newSnapshot(gen uint64, g, h *graph.Graph, stats *Stats, popts precond.Options) *Snapshot {
+	return &Snapshot{Gen: gen, G: g, H: h, stats: stats, popts: popts}
+}
+
+// ensureFactorized builds the per-generation solve state exactly once and
+// accounts builds vs reuses.
+func (s *Snapshot) ensureFactorized() error {
+	first := false
+	s.once.Do(func() {
+		first = true
+		gop := sparse.NewLapOperator(s.G)
+		gop.Workers = s.popts.Workers
+		s.gop = gop
+		s.fact, s.factErr = precond.Factorize(s.H, s.popts)
+		s.stats.precondBuilds.Add(1)
+	})
+	if !first && s.factErr == nil {
+		s.stats.precondReuses.Add(1)
+	}
+	return s.factErr
+}
+
+// SolveStats reports one snapshot solve.
+type SolveStats struct {
+	Generation  uint64
+	Iterations  int
+	Residual    float64
+	Converged   bool
+	PrecondUses int
+}
+
+// Solve computes x = L_G^+ b against this snapshot via sparsifier-
+// preconditioned flexible CG. It is safe to call from any number of
+// goroutines; each call gets a private solver handle over the shared
+// factorization. tol is the relative residual target (0 means 1e-8).
+func (s *Snapshot) Solve(b []float64, tol float64) ([]float64, SolveStats, error) {
+	if len(b) != s.G.NumNodes() {
+		return nil, SolveStats{}, fmt.Errorf("service: rhs length %d != %d nodes", len(b), s.G.NumNodes())
+	}
+	if err := s.ensureFactorized(); err != nil {
+		return nil, SolveStats{}, err
+	}
+	x := make([]float64, s.G.NumNodes())
+	res, err := s.fact.NewSolver().SolveSystem(s.gop, x, b, &sparse.CGOptions{Tol: tol})
+	st := SolveStats{
+		Generation:  s.Gen,
+		Iterations:  res.Outer.Iterations,
+		Residual:    res.Outer.Residual,
+		Converged:   res.Outer.Converged,
+		PrecondUses: res.InnerUses,
+	}
+	s.stats.solves.Add(1)
+	s.stats.solveIters.Add(uint64(res.Outer.Iterations))
+	if err != nil {
+		return x, st, err
+	}
+	return x, st, nil
+}
+
+// EffectiveResistance computes the effective resistance between u and v on
+// this snapshot's original graph, reusing the cached preconditioner.
+func (s *Snapshot) EffectiveResistance(u, v int) (float64, error) {
+	n := s.G.NumNodes()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, fmt.Errorf("service: resistance endpoints (%d, %d) out of range [0, %d)", u, v, n)
+	}
+	s.stats.resistQueries.Add(1)
+	if u == v {
+		return 0, nil
+	}
+	if err := s.ensureFactorized(); err != nil {
+		return 0, err
+	}
+	b := make([]float64, n)
+	b[u], b[v] = 1, -1
+	x := make([]float64, n)
+	if _, err := s.fact.NewSolver().SolveSystem(s.gop, x, b, nil); err != nil {
+		return 0, err
+	}
+	return x[u] - x[v], nil
+}
+
+// ConditionNumber estimates kappa(L_G, L_H) for this snapshot — the
+// spectral-similarity health check.
+func (s *Snapshot) ConditionNumber(seed uint64) (float64, error) {
+	s.stats.condQueries.Add(1)
+	res, err := cond.Estimate(s.G, s.H, cond.Options{Seed: seed, LambdaMaxOnly: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.Kappa, nil
+}
+
+// ExportSparsifier returns this generation's sparsifier view (read-only).
+func (s *Snapshot) ExportSparsifier() *graph.Graph {
+	s.stats.exports.Add(1)
+	return s.H
+}
+
+// Registry retains the most recent snapshots by generation so slightly
+// stale readers (e.g. an HTTP client paging through an export while writes
+// continue) can pin a generation. Older generations are evicted; their
+// memory is reclaimed once readers drop them.
+type Registry struct {
+	mu     sync.RWMutex
+	retain int
+	ring   []*Snapshot // most recent last
+	cur    *Snapshot
+}
+
+// NewRegistry retains up to retain snapshots (minimum 1).
+func NewRegistry(retain int) *Registry {
+	if retain < 1 {
+		retain = 1
+	}
+	return &Registry{retain: retain}
+}
+
+// Publish installs snap as the current snapshot.
+func (r *Registry) Publish(snap *Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cur = snap
+	r.ring = append(r.ring, snap)
+	if len(r.ring) > r.retain {
+		r.ring = append(r.ring[:0], r.ring[len(r.ring)-r.retain:]...)
+	}
+}
+
+// Current returns the latest snapshot.
+func (r *Registry) Current() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cur
+}
+
+// At returns the retained snapshot with the given generation, if any.
+func (r *Registry) At(gen uint64) (*Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i := len(r.ring) - 1; i >= 0; i-- {
+		if r.ring[i].Gen == gen {
+			return r.ring[i], true
+		}
+	}
+	return nil, false
+}
+
+// Generations lists the retained generations, oldest first.
+func (r *Registry) Generations() []uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]uint64, len(r.ring))
+	for i, s := range r.ring {
+		out[i] = s.Gen
+	}
+	return out
+}

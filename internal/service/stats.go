@@ -1,0 +1,75 @@
+package service
+
+import "sync/atomic"
+
+// Stats holds the engine's lock-free counters. Readers and the writer
+// goroutine bump them concurrently; View materializes a consistent-enough
+// plain struct for reporting (individual counters are exact, cross-counter
+// skew of a few operations is acceptable for monitoring).
+type Stats struct {
+	generation     atomic.Uint64
+	solves         atomic.Uint64
+	solveIters     atomic.Uint64
+	precondBuilds  atomic.Uint64
+	precondReuses  atomic.Uint64
+	resistQueries  atomic.Uint64
+	condQueries    atomic.Uint64
+	exports        atomic.Uint64
+	writeRequests  atomic.Uint64
+	writeErrors    atomic.Uint64
+	flushes        atomic.Uint64
+	flushedAdds    atomic.Uint64
+	flushedDeletes atomic.Uint64
+	queueDepth     atomic.Int64
+}
+
+// StatsView is a plain copy of the counters, JSON-friendly for /stats.
+type StatsView struct {
+	// Generation is the snapshot generation currently being served.
+	Generation uint64 `json:"generation"`
+	// Solves counts completed Laplacian solves; SolveIters their total
+	// outer FCG iterations.
+	Solves     uint64 `json:"solves"`
+	SolveIters uint64 `json:"solve_iters"`
+	// PrecondBuilds counts preconditioner factorizations; PrecondReuses
+	// counts solves that reused an already-factorized generation. Reuses
+	// dominating builds is the cached-preconditioner path working.
+	PrecondBuilds uint64 `json:"precond_builds"`
+	PrecondReuses uint64 `json:"precond_reuses"`
+	// ResistanceQueries / CondQueries / SparsifierExports count the other
+	// read endpoints.
+	ResistanceQueries uint64 `json:"resistance_queries"`
+	CondQueries       uint64 `json:"cond_queries"`
+	SparsifierExports uint64 `json:"sparsifier_exports"`
+	// WriteRequests counts enqueued write requests; WriteErrors those that
+	// failed validation or application.
+	WriteRequests uint64 `json:"write_requests"`
+	WriteErrors   uint64 `json:"write_errors"`
+	// Flushes counts batch applications; FlushedAdds / FlushedDeletes the
+	// edges they carried. Flushes << WriteRequests means coalescing works.
+	Flushes        uint64 `json:"flushes"`
+	FlushedAdds    uint64 `json:"flushed_adds"`
+	FlushedDeletes uint64 `json:"flushed_deletes"`
+	// QueueDepth is the number of write requests awaiting a flush.
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// View snapshots the counters.
+func (s *Stats) View() StatsView {
+	return StatsView{
+		Generation:        s.generation.Load(),
+		Solves:            s.solves.Load(),
+		SolveIters:        s.solveIters.Load(),
+		PrecondBuilds:     s.precondBuilds.Load(),
+		PrecondReuses:     s.precondReuses.Load(),
+		ResistanceQueries: s.resistQueries.Load(),
+		CondQueries:       s.condQueries.Load(),
+		SparsifierExports: s.exports.Load(),
+		WriteRequests:     s.writeRequests.Load(),
+		WriteErrors:       s.writeErrors.Load(),
+		Flushes:           s.flushes.Load(),
+		FlushedAdds:       s.flushedAdds.Load(),
+		FlushedDeletes:    s.flushedDeletes.Load(),
+		QueueDepth:        s.queueDepth.Load(),
+	}
+}

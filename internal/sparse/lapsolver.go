@@ -35,11 +35,21 @@ type LaplacianSolver struct {
 func NewLaplacianSolver(g *graph.Graph, opts *CGOptions, workers int) *LaplacianSolver {
 	lop := NewLapOperator(g)
 	lop.Workers = workers
+	return NewLaplacianSolverFromOperator(lop, opts)
+}
+
+// NewLaplacianSolverFromOperator prepares a solver around an already-frozen
+// Laplacian operator, skipping the O(N+E) CSR construction. The returned
+// solver owns only its scratch vectors, so many solvers can share one
+// operator: that is how the service layer hands each concurrent reader a
+// private solve handle over a single per-snapshot factorization.
+func NewLaplacianSolverFromOperator(lop *LapOperator, opts *CGOptions) *LaplacianSolver {
+	n := lop.Dim()
 	s := &LaplacianSolver{
 		op:      &ProjectedOperator{Inner: lop},
 		precond: JacobiPrecond(lop.Diagonal()),
-		opts:    opts.withDefaults(g.NumNodes()),
-		n:       g.NumNodes(),
+		opts:    opts.withDefaults(n),
+		n:       n,
 	}
 	s.opts.Precond = s.precond
 	s.rhs = make([]float64, s.n)

@@ -1,0 +1,279 @@
+package ingrass
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ingrass/internal/core"
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+	"ingrass/internal/precond"
+	"ingrass/internal/service"
+)
+
+// ServiceOptions configures a Service.
+type ServiceOptions struct {
+	// Options configures the underlying incremental sparsifier (initial
+	// density, target condition number, seed, workers).
+	Options
+	// MaxBatch flushes the write batch once it holds this many edges
+	// (default 128).
+	MaxBatch int
+	// FlushInterval flushes a non-empty batch after this much time even if
+	// MaxBatch was not reached (default 2ms).
+	FlushInterval time.Duration
+	// QueueCapacity bounds enqueued-but-unflushed write requests; further
+	// writers block (default 1024).
+	QueueCapacity int
+	// RetainSnapshots is how many recent generations stay addressable
+	// (default 4).
+	RetainSnapshots int
+}
+
+// Service is the concurrent counterpart of Incremental: a long-lived engine
+// that owns the incremental sparsifier, serves snapshot-isolated reads
+// (Solve, EffectiveResistance, ConditionNumber, SparsifierSnapshot) from
+// any number of goroutines, and applies writes (AddEdges, DeleteEdges)
+// through a coalescing asynchronous batcher. Reads run against an immutable
+// copy-on-write snapshot whose preconditioner factorization is cached per
+// generation, so repeated solves on an unchanged graph skip setup.
+type Service struct {
+	eng *service.Engine
+}
+
+// NewService builds the initial sparsifier H(0) of g (as NewIncremental
+// does), runs the inGRASS setup phase, and starts the serving engine. The
+// Service takes ownership of g: the caller must not touch it afterwards.
+// Close the Service to stop the write pipeline.
+func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
+	o := opts.Options.normalized()
+	init, err := grass.Sparsify(g.g, grass.Config{
+		TargetDensity:    o.InitialDensity,
+		Tree:             grass.TreeLowStretch,
+		SimilarityFilter: true,
+		Seed:             o.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingrass: initial sparsifier: %w", err)
+	}
+	sp, err := core.NewSparsifier(g.g, init.H, core.Config{
+		TargetCond: o.TargetCond,
+		LRD:        o.lrdConfig(),
+		Workers:    o.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := service.New(sp, service.Options{
+		MaxBatch:      opts.MaxBatch,
+		FlushInterval: opts.FlushInterval,
+		QueueCapacity: opts.QueueCapacity,
+		Retain:        opts.RetainSnapshots,
+		Precond:       precond.Options{Workers: o.Workers},
+	})
+	return &Service{eng: eng}, nil
+}
+
+// WriteResult reports one completed write request.
+type WriteResult struct {
+	// Generation is the snapshot generation in which the write became
+	// visible to readers.
+	Generation uint64 `json:"generation"`
+	// Included/Merged/Redistributed count the inGRASS filter outcomes for
+	// insertions.
+	Included      int `json:"included"`
+	Merged        int `json:"merged"`
+	Redistributed int `json:"redistributed"`
+	// Deleted/Promoted count deletion outcomes.
+	Deleted  int `json:"deleted"`
+	Promoted int `json:"promoted"`
+}
+
+func fromInternalResult(r service.WriteResult) WriteResult {
+	return WriteResult{
+		Generation:    r.Generation,
+		Included:      r.Included,
+		Merged:        r.Merged,
+		Redistributed: r.Redistributed,
+		Deleted:       r.Deleted,
+		Promoted:      r.Promoted,
+	}
+}
+
+// PendingWrite is the future for an asynchronous write.
+type PendingWrite struct {
+	p *service.Pending
+}
+
+// Done is closed once the write has been applied (or rejected).
+func (w *PendingWrite) Done() <-chan struct{} { return w.p.Done() }
+
+// Wait blocks until the write completes or ctx is cancelled.
+func (w *PendingWrite) Wait(ctx context.Context) (WriteResult, error) {
+	res, err := w.p.Wait(ctx)
+	return fromInternalResult(res), err
+}
+
+func toInternalEdges(edges []Edge) []graph.Edge {
+	out := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+// AddEdgesAsync enqueues an insertion batch and returns immediately; the
+// batcher coalesces it with neighboring requests into one update pass.
+//
+// Within one flush window, all coalesced insertions apply before any
+// deletions. For a delete-then-add of the same endpoint pair that lands in
+// a single flush, the deletion still removes the oldest matching edge, so
+// the outcome matches sequential execution; interleave a Flush between the
+// two writes if strict ordering against a pathological parallel-edge
+// history matters.
+func (s *Service) AddEdgesAsync(edges []Edge) (*PendingWrite, error) {
+	p, err := s.eng.AddAsync(toInternalEdges(edges))
+	if err != nil {
+		return nil, err
+	}
+	return &PendingWrite{p: p}, nil
+}
+
+// AddEdges enqueues an insertion batch and waits until it is applied and
+// published.
+func (s *Service) AddEdges(ctx context.Context, edges []Edge) (WriteResult, error) {
+	res, err := s.eng.Add(ctx, toInternalEdges(edges))
+	return fromInternalResult(res), err
+}
+
+// DeleteEdgesAsync enqueues a deletion batch (edges identified by
+// endpoints; W is ignored).
+func (s *Service) DeleteEdgesAsync(edges []Edge) (*PendingWrite, error) {
+	p, err := s.eng.DeleteAsync(toInternalEdges(edges))
+	if err != nil {
+		return nil, err
+	}
+	return &PendingWrite{p: p}, nil
+}
+
+// DeleteEdges enqueues a deletion batch and waits until it is applied.
+func (s *Service) DeleteEdges(ctx context.Context, edges []Edge) (WriteResult, error) {
+	res, err := s.eng.Delete(ctx, toInternalEdges(edges))
+	return fromInternalResult(res), err
+}
+
+// Solve computes x = L_G^+ b against the current snapshot. Safe for
+// concurrent use; the returned stats carry the generation that served the
+// solve.
+func (s *Service) Solve(b []float64, tol float64) ([]float64, SolveStats, error) {
+	x, st, err := s.eng.Current().Solve(b, tol)
+	return x, SolveStats{
+		Iterations:  st.Iterations,
+		Residual:    st.Residual,
+		Converged:   st.Converged,
+		PrecondUses: st.PrecondUses,
+		Generation:  st.Generation,
+	}, err
+}
+
+// EffectiveResistance computes the effective resistance between u and v on
+// the current snapshot's original graph, returning the generation that
+// served the query.
+func (s *Service) EffectiveResistance(u, v int) (float64, uint64, error) {
+	snap := s.eng.Current()
+	r, err := snap.EffectiveResistance(u, v)
+	return r, snap.Gen, err
+}
+
+// ConditionNumber estimates kappa(L_G, L_H) for the current snapshot.
+func (s *Service) ConditionNumber(seed uint64) (float64, error) {
+	return s.eng.Current().ConditionNumber(seed)
+}
+
+// SparsifierSnapshot returns the current generation's sparsifier H and its
+// generation. The graph is an immutable snapshot: later writes to the
+// service never affect it, and mutating it copies first. Each caller gets
+// its own copy-on-write handle, so mutating it can never corrupt the
+// published generation other readers still see.
+func (s *Service) SparsifierSnapshot() (*Graph, uint64) {
+	snap := s.eng.Current()
+	return wrap(snap.ExportSparsifier().Snapshot()), snap.Gen
+}
+
+// SparsifierAt returns the sparsifier of a retained generation, if still
+// addressable (see ServiceOptions.RetainSnapshots).
+func (s *Service) SparsifierAt(gen uint64) (*Graph, bool) {
+	snap, ok := s.eng.At(gen)
+	if !ok {
+		return nil, false
+	}
+	return wrap(snap.ExportSparsifier().Snapshot()), true
+}
+
+// OriginalSnapshot returns the current generation's original graph G.
+func (s *Service) OriginalSnapshot() (*Graph, uint64) {
+	snap := s.eng.Current()
+	return wrap(snap.G.Snapshot()), snap.Gen
+}
+
+// Generation returns the currently served snapshot generation.
+func (s *Service) Generation() uint64 { return s.eng.Current().Gen }
+
+// ServiceStats is a point-in-time copy of the engine counters.
+type ServiceStats struct {
+	Generation        uint64 `json:"generation"`
+	Solves            uint64 `json:"solves"`
+	SolveIters        uint64 `json:"solve_iters"`
+	PrecondBuilds     uint64 `json:"precond_builds"`
+	PrecondReuses     uint64 `json:"precond_reuses"`
+	ResistanceQueries uint64 `json:"resistance_queries"`
+	CondQueries       uint64 `json:"cond_queries"`
+	SparsifierExports uint64 `json:"sparsifier_exports"`
+	WriteRequests     uint64 `json:"write_requests"`
+	WriteErrors       uint64 `json:"write_errors"`
+	Flushes           uint64 `json:"flushes"`
+	FlushedAdds       uint64 `json:"flushed_adds"`
+	FlushedDeletes    uint64 `json:"flushed_deletes"`
+	QueueDepth        int64  `json:"queue_depth"`
+	// Sparsifier state for the current generation.
+	Nodes           int     `json:"nodes"`
+	GraphEdges      int     `json:"graph_edges"`
+	SparsifierEdges int     `json:"sparsifier_edges"`
+	Density         float64 `json:"density"`
+}
+
+// Stats returns engine counters plus current-generation graph sizes.
+func (s *Service) Stats() ServiceStats {
+	v := s.eng.Stats()
+	snap := s.eng.Current()
+	return ServiceStats{
+		Generation:        v.Generation,
+		Solves:            v.Solves,
+		SolveIters:        v.SolveIters,
+		PrecondBuilds:     v.PrecondBuilds,
+		PrecondReuses:     v.PrecondReuses,
+		ResistanceQueries: v.ResistanceQueries,
+		CondQueries:       v.CondQueries,
+		SparsifierExports: v.SparsifierExports,
+		WriteRequests:     v.WriteRequests,
+		WriteErrors:       v.WriteErrors,
+		Flushes:           v.Flushes,
+		FlushedAdds:       v.FlushedAdds,
+		FlushedDeletes:    v.FlushedDeletes,
+		QueueDepth:        v.QueueDepth,
+		Nodes:             snap.G.NumNodes(),
+		GraphEdges:        snap.G.NumEdges(),
+		SparsifierEdges:   snap.H.NumEdges(),
+		Density:           graph.OffTreeDensity(snap.H.NumEdges(), snap.H.NumNodes(), snap.G.NumEdges()),
+	}
+}
+
+// Flush blocks until every write enqueued before it has been applied and
+// published.
+func (s *Service) Flush(ctx context.Context) error { return s.eng.Flush(ctx) }
+
+// Close stops the write pipeline after flushing already-enqueued writes.
+// Further writes fail; reads against already-obtained snapshots keep
+// working.
+func (s *Service) Close() { s.eng.Close() }

@@ -1,0 +1,248 @@
+package ingrass
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func serviceGrid(t testing.TB, rows, cols int) *Graph {
+	t.Helper()
+	g := NewGraph(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				if _, err := g.AddEdge(id(i, j), id(i, j+1), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i+1 < rows {
+				if _, err := g.AddEdge(id(i, j), id(i+1, j), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func newTestService(t testing.TB) *Service {
+	t.Helper()
+	svc, err := NewService(serviceGrid(t, 8, 8), ServiceOptions{
+		Options: Options{InitialDensity: 0.1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func TestServiceWriteReadCycle(t *testing.T) {
+	svc := newTestService(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if gen := svc.Generation(); gen != 0 {
+		t.Fatalf("initial generation %d", gen)
+	}
+	res, err := svc.AddEdges(ctx, []Edge{{U: 0, V: 63, W: 2}, {U: 7, V: 56, W: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation == 0 || res.Included+res.Merged+res.Redistributed != 2 {
+		t.Fatalf("write result %+v", res)
+	}
+
+	g, gen := svc.OriginalSnapshot()
+	if gen < res.Generation || !g.HasEdge(0, 63) {
+		t.Fatalf("write not visible: gen=%d", gen)
+	}
+
+	b := make([]float64, 64)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	x, st, err := svc.Solve(b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Generation != gen {
+		t.Fatalf("solve stats %+v at gen %d", st, gen)
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	if math.Abs(mean/64) > 1e-9 {
+		t.Fatalf("solution not mean-zero: %v", mean)
+	}
+
+	r, rGen, err := svc.EffectiveResistance(0, 1)
+	if err != nil || !(r > 0) || rGen != gen {
+		t.Fatalf("resistance %v at gen %d, %v", r, rGen, err)
+	}
+	k, err := svc.ConditionNumber(1)
+	if err != nil || k < 1 {
+		t.Fatalf("kappa %v, %v", k, err)
+	}
+
+	h, hGen := svc.SparsifierSnapshot()
+	if hGen != gen || h.NumNodes() != 64 || !h.IsConnected() {
+		t.Fatalf("sparsifier snapshot gen=%d nodes=%d", hGen, h.NumNodes())
+	}
+	if _, ok := svc.SparsifierAt(hGen); !ok {
+		t.Fatal("current generation not addressable")
+	}
+
+	del, err := svc.DeleteEdges(ctx, []Edge{{U: 0, V: 63}})
+	if err != nil || del.Deleted != 1 {
+		t.Fatalf("delete %+v, %v", del, err)
+	}
+
+	stats := svc.Stats()
+	if stats.Solves == 0 || stats.WriteRequests < 2 || stats.Nodes != 64 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestServiceSnapshotOutlivesWrites(t *testing.T) {
+	svc := newTestService(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	h0, gen0 := svc.SparsifierSnapshot()
+	edges0 := h0.NumEdges()
+	weight0 := h0.TotalWeight()
+	for i := 0; i < 5; i++ {
+		if _, err := svc.AddEdges(ctx, []Edge{{U: i, V: 63 - i, W: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.Generation() == gen0 {
+		t.Fatal("generation did not advance")
+	}
+	if h0.NumEdges() != edges0 || h0.TotalWeight() != weight0 {
+		t.Fatal("old snapshot mutated by later writes")
+	}
+}
+
+// TestServiceSnapshotMutationIsPrivate guards the public accessor contract:
+// each caller gets a private copy-on-write handle, so mutating it never
+// corrupts the published generation that other readers (and the engine's
+// cached solve state) still reference — even with readers racing.
+func TestServiceSnapshotMutationIsPrivate(t *testing.T) {
+	svc := newTestService(t)
+	h1, gen := svc.SparsifierSnapshot()
+	edges := h1.NumEdges()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				hr, ok := svc.SparsifierAt(gen)
+				if !ok || hr.NumEdges() != edges {
+					t.Errorf("published generation changed under a caller mutation")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := h1.AddEdge(i, 63-i, 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if h1.NumEdges() != edges+20 {
+		t.Fatalf("caller handle has %d edges, want %d", h1.NumEdges(), edges+20)
+	}
+	h2, _ := svc.SparsifierSnapshot()
+	if h2.NumEdges() != edges {
+		t.Fatalf("registry sparsifier grew to %d edges after caller mutation", h2.NumEdges())
+	}
+	g, _ := svc.OriginalSnapshot()
+	if _, err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g2, _ := svc.OriginalSnapshot(); g2.NumEdges() != g.NumEdges()-1 {
+		t.Fatalf("original snapshot mutation leaked: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestServiceAsyncWrites(t *testing.T) {
+	svc := newTestService(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var pendings []*PendingWrite
+	for i := 0; i < 10; i++ {
+		p, err := svc.AddEdgesAsync([]Edge{{U: i, V: 32 + i, W: 1 + float64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pendings {
+		select {
+		case <-p.Done():
+		default:
+			t.Fatal("flush returned with writes still pending")
+		}
+		if _, err := p.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServiceConcurrentMixedLoad(t *testing.T) {
+	svc := newTestService(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			b := make([]float64, 64)
+			for i := range b {
+				b[i] = math.Cos(float64(id + i))
+			}
+			for k := 0; k < 6; k++ {
+				if _, st, err := svc.Solve(b, 1e-6); err != nil || !st.Converged {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if _, err := svc.AddEdges(ctx, []Edge{{U: i % 64, V: (i + 9) % 64, W: 1.25}}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent load: %v", err)
+	}
+	stats := svc.Stats()
+	if stats.PrecondReuses == 0 {
+		t.Fatalf("no preconditioner reuse: %+v", stats)
+	}
+}

@@ -17,6 +17,9 @@ type SolveStats struct {
 	Converged bool
 	// PrecondUses counts inner sparsifier solves.
 	PrecondUses int
+	// Generation is the snapshot generation that served the solve. Only
+	// set by Service.Solve; standalone SolveLaplacian leaves it zero.
+	Generation uint64
 }
 
 // SolveLaplacian solves the Laplacian system L_G x = b using flexible
