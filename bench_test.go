@@ -11,6 +11,7 @@ package ingrass
 // numbers at any scale.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"ingrass/internal/lrd"
 	"ingrass/internal/partition"
 	"ingrass/internal/precond"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/tree"
 	"ingrass/internal/vecmath"
@@ -405,14 +407,14 @@ func BenchmarkLRDBuild(b *testing.B) {
 // kernel of exact resistance and condition-number estimation.
 func BenchmarkLapSolve(b *testing.B) {
 	g := benchGraph(b, "fe_4elt2")
-	s := sparse.NewLaplacianSolver(g, &sparse.CGOptions{Tol: 1e-6}, 0)
+	s := sparse.NewLaplacianSolver(g, solver.Options{Tol: 1e-6})
 	rhs := make([]float64, g.NumNodes())
 	vecmath.NewRNG(1).FillNormal(rhs)
 	vecmath.CenterMean(rhs)
 	dst := make([]float64, g.NumNodes())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Solve(dst, rhs); err != nil {
+		if _, err := s.Solve(context.Background(), dst, rhs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -483,14 +485,14 @@ func BenchmarkPartitionSparsified(b *testing.B) {
 	opts := partition.Options{Seed: 1, MaxIters: 25}
 	b.Run("full", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := partition.Bisect(g, opts); err != nil {
+			if _, err := partition.Bisect(context.Background(), g, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("sparsified", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := partition.BisectWithSparsifier(g, init.H, opts); err != nil {
+			if _, err := partition.BisectWithSparsifier(context.Background(), g, init.H, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -513,22 +515,22 @@ func BenchmarkSolvePreconditioned(b *testing.B) {
 	b.Run("jacobi", func(b *testing.B) {
 		lop := sparse.NewLapOperator(g)
 		proj := &sparse.ProjectedOperator{Inner: lop}
-		pc := sparse.JacobiPrecond(lop.Diagonal())
+		pc := lop.Jacobi()
 		for i := 0; i < b.N; i++ {
 			x := make([]float64, n)
-			if _, err := sparse.CG(proj, x, rhs, &sparse.CGOptions{Tol: 1e-8, MaxIter: 10000, Precond: pc}); err != nil {
+			if _, err := sparse.CG(context.Background(), proj, x, rhs, pc, nil, solver.Options{Tol: 1e-8, MaxIter: 10000}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("sparsifier", func(b *testing.B) {
-		p, err := precond.New(init.H, precond.Options{})
+		p, err := precond.Factorize(init.H, solver.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
 		for i := 0; i < b.N; i++ {
 			x := make([]float64, n)
-			if _, err := p.Solve(g, x, rhs, &sparse.CGOptions{Tol: 1e-8, MaxIter: 10000}); err != nil {
+			if _, err := p.SolveGraph(context.Background(), g, x, rhs, solver.Options{Tol: 1e-8, MaxIter: 10000}); err != nil {
 				b.Fatal(err)
 			}
 		}

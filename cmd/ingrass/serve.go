@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -63,9 +65,16 @@ type edgesRequest struct {
 	Edges []edgeJSON `json:"edges"`
 }
 
+// solveRequest carries the right-hand side plus the unified solve options.
+// Tol/MaxIter/InnerTol/InnerIters flow unchanged down to the innermost CG
+// loop; DeadlineMS bounds wall-clock time via a context deadline.
 type solveRequest struct {
-	B   []float64 `json:"b"`
-	Tol float64   `json:"tol,omitempty"`
+	B          []float64 `json:"b"`
+	Tol        float64   `json:"tol,omitempty"`
+	MaxIter    int       `json:"max_iter,omitempty"`
+	InnerTol   float64   `json:"inner_tol,omitempty"`
+	InnerIters int       `json:"inner_iters,omitempty"`
+	DeadlineMS int       `json:"deadline_ms,omitempty"`
 }
 
 type solveResponse struct {
@@ -85,6 +94,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusClientClosedRequest is the nginx-style status for a client that
+// went away mid-request; Go's net/http has no named constant for it.
+const statusClientClosedRequest = 499
+
+// solveStatus maps solver errors to HTTP statuses: exhausted iteration
+// budgets are 422 (the request was understood but the tolerance is
+// unreachable within budget), deadline expiry is 408, and a client
+// disconnect is 499. Anything else is a 422 solver-side failure.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, ingrass.ErrCancelled):
+		if errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusRequestTimeout
+		}
+		return statusClientClosedRequest
+	case errors.Is(err, ingrass.ErrNoConvergence):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // newServeMux wires the service endpoints:
@@ -148,9 +179,22 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		x, stats, err := svc.Solve(req.B, req.Tol)
+		// r.Context() is cancelled when the client disconnects, so an
+		// abandoned solve stops burning CPU within one CG iteration.
+		ctx := r.Context()
+		if req.DeadlineMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+			defer cancel()
+		}
+		x, stats, err := svc.Solve(ctx, req.B, ingrass.SolveOptions{
+			Tol:        req.Tol,
+			MaxIter:    req.MaxIter,
+			InnerTol:   req.InnerTol,
+			InnerIters: req.InnerIters,
+		})
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, solveStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, solveResponse{X: x, Stats: stats})
@@ -204,9 +248,9 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("u and v query parameters required"))
 			return
 		}
-		res, gen, err := svc.EffectiveResistance(u, v)
+		res, gen, err := svc.EffectiveResistance(r.Context(), u, v)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, solveStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,7 +50,7 @@ func cmdSolve(args []string) {
 	}
 
 	start := time.Now()
-	x, stats, err := ingrass.SolveLaplacian(g, h, b, *tol)
+	x, stats, err := ingrass.SolveLaplacian(context.Background(), g, h, b, ingrass.SolveOptions{Tol: *tol})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,16 @@
+package ingrass
+
+import "ingrass/internal/solver"
+
+// Typed errors crossing every layer of the solver stack. Match them with
+// errors.Is; they survive wrapping through the internal packages.
+var (
+	// ErrNoConvergence reports that an iterative solve exhausted its
+	// iteration budget before reaching the requested tolerance. The partial
+	// solution is still returned alongside it.
+	ErrNoConvergence = solver.ErrNoConvergence
+	// ErrCancelled reports a solve aborted by context cancellation or
+	// deadline expiry. The error chain also matches the specific context
+	// error (context.Canceled or context.DeadlineExceeded).
+	ErrCancelled = solver.ErrCancelled
+)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,7 +42,7 @@ func main() {
 
 	solve := func(tag string) {
 		start := time.Now()
-		x, stats, err := ingrass.SolveLaplacian(inc.Original(), inc.Sparsifier(), b, 1e-8)
+		x, stats, err := ingrass.SolveLaplacian(context.Background(), inc.Original(), inc.Sparsifier(), b, ingrass.SolveOptions{Tol: 1e-8})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package ingrass
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -88,7 +89,7 @@ func TestSolveLaplacianPublic(t *testing.T) {
 	b := make([]float64, n)
 	b[0] = 1
 	b[n-1] = -1
-	x, stats, err := SolveLaplacian(g, h, b, 1e-8)
+	x, stats, err := SolveLaplacian(context.Background(), g, h, b, SolveOptions{Tol: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +124,11 @@ func TestSolveLaplacianErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := SolveLaplacian(g, h, make([]float64, 3), 0); err == nil {
+	if _, _, err := SolveLaplacian(context.Background(), g, h, make([]float64, 3), SolveOptions{}); err == nil {
 		t.Fatal("expected rhs length error")
 	}
 	other := NewGraph(5)
-	if _, _, err := SolveLaplacian(g, other, make([]float64, 16), 0); err == nil {
+	if _, _, err := SolveLaplacian(context.Background(), g, other, make([]float64, 16), SolveOptions{}); err == nil {
 		t.Fatal("expected node mismatch error")
 	}
 }

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,7 +20,7 @@ import (
 	"ingrass/internal/grass"
 	"ingrass/internal/krylov"
 	"ingrass/internal/lrd"
-	"ingrass/internal/sparse"
+	"ingrass/internal/solver"
 )
 
 // Params bundles the experiment knobs shared by all tables.
@@ -71,20 +72,19 @@ func (p Params) condOptions() cond.Options {
 		MaxIters: p.CondIters,
 		Tol:      p.CondTol,
 		Seed:     p.Seed,
-		Workers:  p.Workers,
 		// The GRASS-line convention: kappa = lambda_max of the pencil (see
 		// cond.Options.LambdaMaxOnly). The paper's tables use it.
 		LambdaMaxOnly: true,
 		// Loose inner solves: a table-grade kappa needs ~2 digits, and the
 		// power iteration is self-correcting, so cap CG work tightly.
-		CG: sparse.CGOptions{Tol: 1e-5, MaxIter: 600},
+		Solver: solver.Options{Tol: 1e-5, MaxIter: 600, Workers: p.Workers},
 	}
 }
 
 // kappa estimates kappa(G, H), returning NaN on failure rather than
 // aborting a whole table.
 func (p Params) kappa(g, h *graph.Graph) float64 {
-	res, err := cond.Estimate(g, h, p.condOptions())
+	res, err := cond.Estimate(context.Background(), g, h, p.condOptions())
 	if err != nil {
 		return -1
 	}

@@ -11,10 +11,12 @@
 package cond
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
@@ -26,12 +28,11 @@ type Options struct {
 	// Tol is the relative Rayleigh-quotient change at which iteration
 	// stops. Default 1e-3 (three significant figures, plenty for tables).
 	Tol float64
-	// CG configures the inner solves. Default tolerance 1e-6.
-	CG sparse.CGOptions
+	// Solver configures the inner pseudo-inverse solves (tolerance default
+	// 1e-6) and Laplacian-application parallelism (Solver.Workers).
+	Solver solver.Options
 	// Seed drives the random start vector.
 	Seed uint64
-	// Workers parallelizes Laplacian applications. 0 = serial.
-	Workers int
 	// LambdaMaxOnly reports kappa = lambda_max(L_H^+ L_G), clamping
 	// lambda_min to 1. This is the convention of the GRASS line of papers,
 	// where H starts as a subgraph of G (lambda_min = 1 exactly) and
@@ -49,8 +50,8 @@ func (o Options) withDefaults() Options {
 	if o.Tol <= 0 {
 		o.Tol = 1e-3
 	}
-	if o.CG.Tol == 0 {
-		o.CG.Tol = 1e-6
+	if o.Solver.Tol == 0 {
+		o.Solver.Tol = 1e-6
 	}
 	return o
 }
@@ -66,8 +67,13 @@ type Result struct {
 
 // Estimate computes kappa(L_G, L_H). Both graphs must have the same node
 // count and be connected; otherwise the pencil has spurious zero/infinite
-// eigenvalues and an error is returned.
-func Estimate(g, h *graph.Graph, opts Options) (Result, error) {
+// eigenvalues and an error is returned. ctx is threaded into every inner
+// solve and checked once per power iteration; cancellation aborts with a
+// solver.ErrCancelled-wrapped error.
+func Estimate(ctx context.Context, g, h *graph.Graph, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if g.NumNodes() != h.NumNodes() {
 		return Result{}, fmt.Errorf("cond: node counts differ: %d vs %d", g.NumNodes(), h.NumNodes())
 	}
@@ -84,20 +90,20 @@ func Estimate(g, h *graph.Graph, opts Options) (Result, error) {
 	o := opts.withDefaults()
 
 	gOp := sparse.NewLapOperator(g)
-	gOp.Workers = o.Workers
+	gOp.Workers = o.Solver.Workers
 	hOp := sparse.NewLapOperator(h)
-	hOp.Workers = o.Workers
-	hSolver := sparse.NewLaplacianSolver(h, &o.CG, o.Workers)
-	gSolver := sparse.NewLaplacianSolver(g, &o.CG, o.Workers)
+	hOp.Workers = o.Solver.Workers
+	hSolver := sparse.NewLaplacianSolver(h, o.Solver)
+	gSolver := sparse.NewLaplacianSolver(g, o.Solver)
 
-	lmax, itMax, err := pencilPower(gOp, hSolver, o)
+	lmax, itMax, err := pencilPower(ctx, gOp, hSolver, o)
 	if err != nil {
 		return Result{}, fmt.Errorf("cond: lambda_max: %w", err)
 	}
 	res := Result{LambdaMax: lmax, LambdaMin: 1, ItersMax: itMax}
 	if !o.LambdaMaxOnly {
 		// The inverse pencil swaps the roles of G and H.
-		linvMin, itMin, err := pencilPower(hOp, gSolver, o)
+		linvMin, itMin, err := pencilPower(ctx, hOp, gSolver, o)
 		if err != nil {
 			return Result{}, fmt.Errorf("cond: lambda_min: %w", err)
 		}
@@ -111,7 +117,7 @@ func Estimate(g, h *graph.Graph, opts Options) (Result, error) {
 // pencilPower runs power iteration for the largest eigenvalue of
 // solveB^+ applied after opA, i.e. the largest lambda of A u = lambda B u.
 // The Rayleigh quotient used is (x'Ax)/(x'Bx), evaluated matrix-free.
-func pencilPower(opA sparse.Operator, solveB *sparse.LaplacianSolver, o Options) (float64, int, error) {
+func pencilPower(ctx context.Context, opA sparse.Operator, solveB *sparse.LaplacianSolver, o Options) (float64, int, error) {
 	n := opA.Dim()
 	rng := vecmath.NewRNG(o.Seed + 0x5bd1)
 	x := make([]float64, n)
@@ -127,6 +133,9 @@ func pencilPower(opA sparse.Operator, solveB *sparse.LaplacianSolver, o Options)
 	rho := 0.0
 	iters := 0
 	for k := 0; k < o.MaxIters; k++ {
+		if err := solver.CheckCancel(ctx); err != nil {
+			return rho, iters, err
+		}
 		iters = k + 1
 		opA.Apply(ax, x)
 		num := vecmath.Dot(x, ax) // x' A x
@@ -140,8 +149,14 @@ func pencilPower(opA sparse.Operator, solveB *sparse.LaplacianSolver, o Options)
 		rho = num / den
 
 		// Next iterate: y = B^+ A x. A loose inner solve only slows
-		// convergence of the outer iteration; ignore ErrNoConvergence.
-		_, _ = solveB.Solve(y, ax)
+		// convergence of the outer iteration; ignore ErrNoConvergence. A
+		// cancelled inner solve, however, leaves y = 0 and would otherwise
+		// masquerade as convergence via the Normalize break below — check
+		// the context before interpreting the iterate.
+		_, _ = solveB.Solve(ctx, y, ax)
+		if err := solver.CheckCancel(ctx); err != nil {
+			return rho, iters, err
+		}
 		vecmath.ProjectOutOnes(y)
 		if vecmath.Normalize(y) == 0 {
 			break

@@ -1,6 +1,7 @@
 package cond
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -25,7 +26,7 @@ func grid(r, c int) *graph.Graph {
 
 func TestIdenticalGraphsKappaOne(t *testing.T) {
 	g := grid(5, 5)
-	res, err := Estimate(g, g.Clone(), Options{Seed: 1})
+	res, err := Estimate(context.Background(), g, g.Clone(), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestScaledGraphKappaOne(t *testing.T) {
 	for i := range h.Edges() {
 		h.ScaleWeight(i, 2)
 	}
-	res, err := Estimate(g, h, Options{Seed: 2})
+	res, err := Estimate(context.Background(), g, h, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestEstimateMatchesDenseOracle(t *testing.T) {
 	wantMin, wantMax := vals[0], vals[len(vals)-1]
 	wantKappa := wantMax / wantMin
 
-	res, err := Estimate(g, h, Options{Seed: 3, MaxIters: 200, Tol: 1e-6})
+	res, err := Estimate(context.Background(), g, h, Options{Seed: 3, MaxIters: 200, Tol: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestSubgraphPencilBounds(t *testing.T) {
 			t.Fatalf("pencil eigenvalue %v below 1 for subgraph H", v)
 		}
 	}
-	res, err := Estimate(g, h, Options{Seed: 4, MaxIters: 150})
+	res, err := Estimate(context.Background(), g, h, Options{Seed: 4, MaxIters: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +150,11 @@ func TestSparserTreeHasLargerKappa(t *testing.T) {
 	for i := 0; i < len(off)/2; i++ {
 		richer.AddEdge(off[i].U, off[i].V, off[i].W)
 	}
-	kTree, err := Estimate(g, tree, Options{Seed: 5, MaxIters: 150})
+	kTree, err := Estimate(context.Background(), g, tree, Options{Seed: 5, MaxIters: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kRich, err := Estimate(g, richer, Options{Seed: 5, MaxIters: 150})
+	kRich, err := Estimate(context.Background(), g, richer, Options{Seed: 5, MaxIters: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,22 +165,22 @@ func TestSparserTreeHasLargerKappa(t *testing.T) {
 
 func TestEstimateErrors(t *testing.T) {
 	g := grid(3, 3)
-	if _, err := Estimate(g, grid(2, 2), Options{}); err == nil {
+	if _, err := Estimate(context.Background(), g, grid(2, 2), Options{}); err == nil {
 		t.Fatal("expected node-count mismatch error")
 	}
 	disconnected := graph.New(9, 1)
 	disconnected.AddEdge(0, 1, 1)
-	if _, err := Estimate(g, disconnected, Options{}); err == nil {
+	if _, err := Estimate(context.Background(), g, disconnected, Options{}); err == nil {
 		t.Fatal("expected disconnected-H error")
 	}
-	if _, err := Estimate(disconnected, g, Options{}); err == nil {
+	if _, err := Estimate(context.Background(), disconnected, g, Options{}); err == nil {
 		t.Fatal("expected disconnected-G error")
 	}
 }
 
 func TestTinyGraphs(t *testing.T) {
 	g := graph.New(1, 0)
-	res, err := Estimate(g, g.Clone(), Options{})
+	res, err := Estimate(context.Background(), g, g.Clone(), Options{})
 	if err != nil || res.Kappa != 1 {
 		t.Fatalf("single node: %+v err=%v", res, err)
 	}
@@ -187,7 +188,7 @@ func TestTinyGraphs(t *testing.T) {
 	g2.AddEdge(0, 1, 1)
 	h2 := graph.New(2, 1)
 	h2.AddEdge(0, 1, 4)
-	res2, err := Estimate(g2, h2, Options{Seed: 6})
+	res2, err := Estimate(context.Background(), g2, h2, Options{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

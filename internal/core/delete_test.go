@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ingrass/internal/cond"
@@ -133,7 +134,7 @@ func TestDeleteKeepsKappaFinite(t *testing.T) {
 		}
 		deleted++
 	}
-	res, err := cond.Estimate(s.G, s.H, cond.Options{Seed: 6, MaxIters: 60, LambdaMaxOnly: true})
+	res, err := cond.Estimate(context.Background(), s.G, s.H, cond.Options{Seed: 6, MaxIters: 60, LambdaMaxOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}

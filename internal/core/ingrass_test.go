@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -270,7 +271,7 @@ func TestIncrementalQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kappa0, err := cond.Estimate(g, init.H, cond.Options{Seed: 4, MaxIters: 80})
+	kappa0, err := cond.Estimate(context.Background(), g, init.H, cond.Options{Seed: 4, MaxIters: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,11 +304,11 @@ func TestIncrementalQuality(t *testing.T) {
 		}
 	}
 
-	kappaUpdated, err := cond.Estimate(s.G, s.H, cond.Options{Seed: 7, MaxIters: 80})
+	kappaUpdated, err := cond.Estimate(context.Background(), s.G, s.H, cond.Options{Seed: 7, MaxIters: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kappaFrozen, err := cond.Estimate(s.G, frozen, cond.Options{Seed: 7, MaxIters: 80})
+	kappaFrozen, err := cond.Estimate(context.Background(), s.G, frozen, cond.Options{Seed: 7, MaxIters: 80})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package grass
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -124,11 +125,11 @@ func TestHigherDensityLowersKappa(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k1, err := cond.Estimate(g, sparse1.H, cond.Options{Seed: 1, MaxIters: 120})
+	k1, err := cond.Estimate(context.Background(), g, sparse1.H, cond.Options{Seed: 1, MaxIters: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
-	k2, err := cond.Estimate(g, sparse2.H, cond.Options{Seed: 1, MaxIters: 120})
+	k2, err := cond.Estimate(context.Background(), g, sparse2.H, cond.Options{Seed: 1, MaxIters: 120})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+package krylov
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ingrass/internal/solver"
+	"ingrass/internal/sparse"
+)
+
+func TestLanczosCancelledBeforeStart(t *testing.T) {
+	g := pathGraph(64)
+	op := &sparse.ProjectedOperator{Inner: sparse.NewLapOperator(g)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Lanczos(ctx, op, 20, 1); !errors.Is(err, solver.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrCancelled/context.Canceled, got %v", err)
+	}
+}
+
+// cancelAfterOp cancels its context after a fixed number of applies, so the
+// Lanczos loop observes cancellation mid-iteration.
+type cancelAfterOp struct {
+	inner  sparse.Operator
+	cancel context.CancelFunc
+	at     int
+	count  int
+}
+
+func (c *cancelAfterOp) Dim() int { return c.inner.Dim() }
+
+func (c *cancelAfterOp) Apply(dst, x []float64) {
+	c.count++
+	if c.count == c.at {
+		c.cancel()
+	}
+	c.inner.Apply(dst, x)
+}
+
+func TestLanczosCancelMidIteration(t *testing.T) {
+	g := pathGraph(128)
+	inner := &sparse.ProjectedOperator{Inner: sparse.NewLapOperator(g)}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	op := &cancelAfterOp{inner: inner, cancel: cancel, at: 3}
+	_, err := Lanczos(ctx, op, 50, 1)
+	if !errors.Is(err, solver.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	// The loop checks at the top of each step: at most one step after the
+	// cancelling apply may run.
+	if op.count > 4 {
+		t.Fatalf("Lanczos ran %d applies past a cancel at apply 3", op.count)
+	}
+}

@@ -1,11 +1,13 @@
 package krylov
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
@@ -130,7 +132,7 @@ func TestEmbeddingVsExactBand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver := sparse.NewLaplacianSolver(g, &sparse.CGOptions{Tol: 1e-11}, 0)
+	lap := sparse.NewLaplacianSolver(g, solver.Options{Tol: 1e-11})
 	r := vecmath.NewRNG(1)
 	var ratioSum float64
 	count := 0
@@ -139,7 +141,7 @@ func TestEmbeddingVsExactBand(t *testing.T) {
 		if p == q {
 			continue
 		}
-		exact, err := solver.SolvePair(p, q)
+		exact, err := lap.SolvePair(context.Background(), p, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +194,7 @@ func TestConfigDefaults(t *testing.T) {
 func TestLanczosOnLaplacian(t *testing.T) {
 	g := gridGraph(6, 6)
 	op := sparse.NewLapOperator(g)
-	res, err := Lanczos(&sparse.ProjectedOperator{Inner: op}, 30, 1)
+	res, err := Lanczos(context.Background(), &sparse.ProjectedOperator{Inner: op}, 30, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,11 +226,11 @@ func TestLanczosOnLaplacian(t *testing.T) {
 func TestLanczosErrors(t *testing.T) {
 	g := pathGraph(4)
 	op := sparse.NewLapOperator(g)
-	if _, err := Lanczos(op, 0, 1); err == nil {
+	if _, err := Lanczos(context.Background(), op, 0, 1); err == nil {
 		t.Fatal("expected error for zero order")
 	}
 	// Order larger than dimension is clamped, not an error.
-	if _, err := Lanczos(&sparse.ProjectedOperator{Inner: op}, 50, 1); err != nil {
+	if _, err := Lanczos(context.Background(), &sparse.ProjectedOperator{Inner: op}, 50, 1); err != nil {
 		t.Fatal(err)
 	}
 }

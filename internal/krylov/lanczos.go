@@ -1,8 +1,10 @@
 package krylov
 
 import (
+	"context"
 	"fmt"
 
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
@@ -20,7 +22,13 @@ type LanczosResult struct {
 // random vector orthogonal to the all-ones direction. The extreme Ritz
 // values bound the extreme eigenvalues of op restricted to that subspace
 // and converge to them rapidly; they feed the condition-number estimator.
-func Lanczos(op sparse.Operator, k int, seed uint64) (*LanczosResult, error) {
+//
+// ctx is checked once per Lanczos step; a cancelled or expired context
+// aborts with a solver.ErrCancelled-wrapped error.
+func Lanczos(ctx context.Context, op sparse.Operator, k int, seed uint64) (*LanczosResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := op.Dim()
 	if k <= 0 {
 		return nil, fmt.Errorf("krylov: Lanczos order %d must be positive", k)
@@ -43,6 +51,9 @@ func Lanczos(op sparse.Operator, k int, seed uint64) (*LanczosResult, error) {
 	w := make([]float64, n)
 
 	for j := 0; j < k; j++ {
+		if err := solver.CheckCancel(ctx); err != nil {
+			return nil, err
+		}
 		basis = append(basis, append([]float64(nil), v...))
 		op.Apply(w, v)
 		a := vecmath.Dot(v, w)

@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -101,7 +102,7 @@ func TestLanczosRitzRangeProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		g := randomConnected(seed, 20, 25)
 		op := sparseProjected(g)
-		res, err := Lanczos(op, 12, seed)
+		res, err := Lanczos(context.Background(), op, 12, seed)
 		if err != nil {
 			return false
 		}

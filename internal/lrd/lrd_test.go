@@ -1,11 +1,13 @@
 package lrd
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"ingrass/internal/graph"
 	"ingrass/internal/krylov"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
@@ -126,7 +128,7 @@ func TestResistanceBoundIsUpperBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver := sparse.NewLaplacianSolver(g, &sparse.CGOptions{Tol: 1e-10}, 0)
+	lap := sparse.NewLaplacianSolver(g, solver.Options{Tol: 1e-10})
 	r := vecmath.NewRNG(6)
 	violations := 0
 	trials := 0
@@ -136,7 +138,7 @@ func TestResistanceBoundIsUpperBound(t *testing.T) {
 			continue
 		}
 		trials++
-		exact, err := solver.SolvePair(p, q)
+		exact, err := lap.SolvePair(context.Background(), p, q)
 		if err != nil {
 			t.Fatal(err)
 		}

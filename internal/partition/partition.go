@@ -13,10 +13,12 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
@@ -28,12 +30,11 @@ type Options struct {
 	// Tol stops iteration when the iterate rotates by less than Tol
 	// (1 - |<x_k, x_{k-1}>|). Default 1e-6.
 	Tol float64
-	// CG configures the inner solves. Default tolerance 1e-6.
-	CG sparse.CGOptions
+	// Solver configures the inner solves (tolerance default 1e-6) and
+	// Laplacian-product parallelism (Solver.Workers).
+	Solver solver.Options
 	// Seed drives the random start vector.
 	Seed uint64
-	// Workers parallelizes Laplacian products.
-	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -43,8 +44,8 @@ func (o Options) withDefaults() Options {
 	if o.Tol <= 0 {
 		o.Tol = 1e-6
 	}
-	if o.CG.Tol == 0 {
-		o.CG.Tol = 1e-6
+	if o.Solver.Tol == 0 {
+		o.Solver.Tol = 1e-6
 	}
 	return o
 }
@@ -52,8 +53,12 @@ func (o Options) withDefaults() Options {
 // Fiedler computes (an approximation of) the Fiedler vector of g by
 // inverse power iteration: x <- normalize(project(L^+ x)). The smallest
 // nonzero eigenvalue's eigenvector dominates because L^+ inverts the
-// spectrum on the complement of ones. g must be connected.
-func Fiedler(g *graph.Graph, opts Options) ([]float64, error) {
+// spectrum on the complement of ones. g must be connected. ctx is checked
+// once per power iteration and threaded into the inner solves.
+func Fiedler(ctx context.Context, g *graph.Graph, opts Options) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumNodes()
 	if n < 2 {
 		return nil, fmt.Errorf("partition: graph too small")
@@ -62,7 +67,7 @@ func Fiedler(g *graph.Graph, opts Options) ([]float64, error) {
 		return nil, fmt.Errorf("partition: graph must be connected")
 	}
 	o := opts.withDefaults()
-	solver := sparse.NewLaplacianSolver(g, &o.CG, o.Workers)
+	lap := sparse.NewLaplacianSolver(g, o.Solver)
 
 	rng := vecmath.NewRNG(o.Seed + 0xF1ED)
 	x := make([]float64, n)
@@ -73,9 +78,17 @@ func Fiedler(g *graph.Graph, opts Options) ([]float64, error) {
 		return nil, fmt.Errorf("partition: start vector collapsed")
 	}
 	for k := 0; k < o.MaxIters; k++ {
-		if _, err := solver.Solve(next, x); err != nil {
+		if err := solver.CheckCancel(ctx); err != nil {
+			return nil, err
+		}
+		if _, err := lap.Solve(ctx, next, x); err != nil {
 			// Loose inner solves only slow the outer convergence.
 			_ = err
+		}
+		// A cancelled inner solve leaves next = 0, which the Normalize
+		// break below would misread as convergence; report it instead.
+		if err := solver.CheckCancel(ctx); err != nil {
+			return nil, err
 		}
 		vecmath.ProjectOutOnes(next)
 		if vecmath.Normalize(next) == 0 {
@@ -112,8 +125,8 @@ type Bisection struct {
 
 // Bisect spectrally bisects g: Fiedler vector, median threshold (exactly
 // balanced on odd/even sizes up to one node).
-func Bisect(g *graph.Graph, opts Options) (*Bisection, error) {
-	fiedler, err := Fiedler(g, opts)
+func Bisect(ctx context.Context, g *graph.Graph, opts Options) (*Bisection, error) {
+	fiedler, err := Fiedler(ctx, g, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -123,11 +136,11 @@ func Bisect(g *graph.Graph, opts Options) (*Bisection, error) {
 // BisectWithSparsifier computes the Fiedler vector on the sparsifier h but
 // evaluates and returns the induced partition of g — the cheap-partitioning
 // workflow the sparsifier enables. h must share g's node set.
-func BisectWithSparsifier(g, h *graph.Graph, opts Options) (*Bisection, error) {
+func BisectWithSparsifier(ctx context.Context, g, h *graph.Graph, opts Options) (*Bisection, error) {
 	if g.NumNodes() != h.NumNodes() {
 		return nil, fmt.Errorf("partition: node count mismatch %d vs %d", g.NumNodes(), h.NumNodes())
 	}
-	fiedler, err := Fiedler(h, opts)
+	fiedler, err := Fiedler(ctx, h, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -40,19 +41,19 @@ func grid(r, c int) *graph.Graph {
 }
 
 func TestFiedlerErrors(t *testing.T) {
-	if _, err := Fiedler(graph.New(1, 0), Options{}); err == nil {
+	if _, err := Fiedler(context.Background(), graph.New(1, 0), Options{}); err == nil {
 		t.Fatal("expected too-small error")
 	}
 	dis := graph.New(4, 1)
 	dis.AddEdge(0, 1, 1)
-	if _, err := Fiedler(dis, Options{}); err == nil {
+	if _, err := Fiedler(context.Background(), dis, Options{}); err == nil {
 		t.Fatal("expected disconnected error")
 	}
 }
 
 func TestFiedlerSeparatesCliques(t *testing.T) {
 	g := twoCliquesBridge(8)
-	f, err := Fiedler(g, Options{Seed: 1})
+	f, err := Fiedler(context.Background(), g, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFiedlerSeparatesCliques(t *testing.T) {
 
 func TestBisectCliques(t *testing.T) {
 	g := twoCliquesBridge(10)
-	b, err := Bisect(g, Options{Seed: 2})
+	b, err := Bisect(context.Background(), g, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestBisectCliques(t *testing.T) {
 
 func TestBisectGridBalanced(t *testing.T) {
 	g := grid(12, 12)
-	b, err := Bisect(g, Options{Seed: 3})
+	b, err := Bisect(context.Background(), g, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +120,11 @@ func TestBisectWithSparsifierQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Bisect(g, Options{Seed: 4})
+	full, err := Bisect(context.Background(), g, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaH, err := BisectWithSparsifier(g, init.H, Options{Seed: 4})
+	viaH, err := BisectWithSparsifier(context.Background(), g, init.H, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestBisectWithSparsifierQuality(t *testing.T) {
 
 func TestBisectWithSparsifierErrors(t *testing.T) {
 	g := grid(4, 4)
-	if _, err := BisectWithSparsifier(g, grid(3, 3), Options{}); err == nil {
+	if _, err := BisectWithSparsifier(context.Background(), g, grid(3, 3), Options{}); err == nil {
 		t.Fatal("expected node mismatch error")
 	}
 }

@@ -1,49 +1,120 @@
 package precond
 
 import (
+	"context"
 	"fmt"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
+	"ingrass/internal/vecmath"
 )
 
 // Factorization is the reusable, immutable half of a sparsifier
-// preconditioner: the frozen CSR view of H and the solve configuration.
-// Building it is the expensive part of precond.New (O(N+E) CSR assembly);
-// everything it holds is read-only afterwards, so one Factorization can
-// back any number of concurrent solves. The service layer builds one per
-// snapshot generation and keys its cache on that generation, which is how
-// repeated solves against an unchanged graph skip re-factorization.
+// preconditioner: the frozen CSR view of H, its projected operator and
+// Jacobi diagonal, and the engine-level solve defaults. Building it is the
+// expensive part (O(N+E) CSR assembly); everything it holds is read-only
+// afterwards, so one Factorization can back any number of concurrent
+// solves. The service layer builds one per snapshot generation and keys its
+// cache on that generation, which is how repeated solves against an
+// unchanged graph skip re-factorization.
+//
+// Per-call mutable state (scratch workspace, counters) lives in a pooled
+// solveState checked out for the duration of each Solve, so warm solves
+// allocate nothing.
 type Factorization struct {
 	n    int
 	hop  *sparse.LapOperator
-	opts Options
+	proj *sparse.ProjectedOperator
+	opts solver.Options // defaults applied; Workers frozen here
+	sp   statePool
 }
 
 // Factorize freezes the sparsifier h into a reusable preconditioner
-// factorization. opts mirrors New.
-func Factorize(h *graph.Graph, opts Options) (*Factorization, error) {
+// factorization. opts supplies the engine-level defaults every solve
+// against this factorization starts from — in particular InnerTol /
+// InnerIters for the truncated inner solve and Workers for parallel
+// Laplacian application (frozen at factorize time; per-request Workers
+// overrides are ignored on shared factorizations because the operator is
+// shared across concurrent solves).
+func Factorize(h *graph.Graph, opts solver.Options) (*Factorization, error) {
 	if h.NumNodes() == 0 {
 		return nil, fmt.Errorf("precond: empty sparsifier")
 	}
 	hop := sparse.NewLapOperator(h)
 	hop.Workers = opts.Workers
-	return &Factorization{n: h.NumNodes(), hop: hop, opts: opts.withDefaults()}, nil
+	f := &Factorization{
+		n:    h.NumNodes(),
+		hop:  hop,
+		proj: &sparse.ProjectedOperator{Inner: hop},
+		opts: opts.WithDefaults(h.NumNodes()),
+	}
+	f.sp.p.New = func() any {
+		return &solveState{f: f, ws: solver.NewWorkspace(f.n)}
+	}
+	return f, nil
 }
 
 // Dim returns the node count of the factorized sparsifier.
 func (f *Factorization) Dim() int { return f.n }
 
-// NewSolver returns a goroutine-confined preconditioner handle over the
-// shared factorization. It only allocates scratch vectors — no CSR pass —
-// so per-solve instantiation costs O(N) allocation, not O(N+E) setup. The
-// returned Sparsifier must not be shared across goroutines (it carries
-// scratch state and counters); the Factorization itself may be.
-func (f *Factorization) NewSolver() *Sparsifier {
-	return &Sparsifier{
-		solver: sparse.NewLaplacianSolverFromOperator(f.hop, &sparse.CGOptions{
-			Tol:     f.opts.InnerTol,
-			MaxIter: f.opts.InnerIters,
-		}),
+// Options returns the factorization's effective (defaults-applied) options.
+func (f *Factorization) Options() solver.Options { return f.opts }
+
+// Solve runs flexible CG on sys x = b preconditioned by truncated inner
+// solves of L_H. b is mean-centered internally (Laplacian systems are only
+// consistent on the complement of ones); the solution written into x is
+// mean-zero. sys must have dimension Dim; if it is not already a
+// *sparse.ProjectedOperator it is projected in place without allocating.
+//
+// opts overrides the factorization defaults field-wise for this request
+// (Tol, MaxIter, InnerTol, InnerIters; Workers is frozen — see Factorize).
+// ctx aborts the outer loop (and truncates the inner solve) within one
+// iteration of cancellation, returning partial stats alongside a
+// solver.ErrCancelled-wrapped error.
+//
+// Safe for any number of concurrent callers; each call checks a private
+// solve state out of the factorization's pool.
+func (f *Factorization) Solve(ctx context.Context, sys sparse.Operator, x, b []float64, opts solver.Options) (SolveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	if sys.Dim() != f.n {
+		return SolveResult{}, fmt.Errorf("precond: system dim %d != sparsifier dim %d", sys.Dim(), f.n)
+	}
+	if len(x) != f.n || len(b) != f.n {
+		return SolveResult{}, fmt.Errorf("precond: Solve dims x=%d b=%d n=%d", len(x), len(b), f.n)
+	}
+	eff := f.opts.Override(opts)
+
+	st := f.sp.get()
+	defer f.sp.put(st)
+	st.ctx = ctx
+	st.inner = eff.Inner()
+	st.applications = 0
+
+	op, ok := sys.(*sparse.ProjectedOperator)
+	if !ok {
+		st.callerProj.Inner = sys
+		op = &st.callerProj
+	}
+
+	mark := st.ws.Mark()
+	defer st.ws.Release(mark)
+	rhs := st.ws.Take()
+	copy(rhs, b)
+	vecmath.CenterMean(rhs)
+	vecmath.Zero(x)
+	res, err := sparse.FlexibleCG(ctx, op, x, rhs, st, st.ws, eff)
+	vecmath.CenterMean(x)
+	return SolveResult{Outer: res, InnerUses: st.applications}, err
+}
+
+// SolveGraph is Solve against a one-shot graph G: it freezes G's Laplacian
+// operator per call (O(N+E)), so prefer Solve with a cached operator for
+// repeated systems.
+func (f *Factorization) SolveGraph(ctx context.Context, g *graph.Graph, x, b []float64, opts solver.Options) (SolveResult, error) {
+	gop := sparse.NewLapOperator(g)
+	gop.Workers = f.opts.Override(opts).Workers
+	return f.Solve(ctx, gop, x, b, opts)
 }

@@ -1,11 +1,14 @@
 package precond
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
@@ -31,45 +34,42 @@ func rhsFor(n int) []float64 {
 	return b
 }
 
-func TestFactorizeMatchesDirectPath(t *testing.T) {
+func TestSolveGraphMatchesSolve(t *testing.T) {
 	g := ring(60)
 	h := g // self-preconditioning is fine for an equivalence check
 	b := rhsFor(60)
 
-	direct, err := New(h, Options{})
+	fact, err := Factorize(h, solver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	xDirect := make([]float64, 60)
-	resDirect, err := direct.Solve(g, xDirect, b, &sparse.CGOptions{Tol: 1e-10})
+	xGraph := make([]float64, 60)
+	resGraph, err := fact.SolveGraph(context.Background(), g, xGraph, b, solver.Options{Tol: 1e-10})
 	if err != nil {
-		t.Fatalf("direct solve: %v", err)
+		t.Fatalf("graph solve: %v", err)
 	}
 
-	fact, err := Factorize(h, Options{})
+	xOp := make([]float64, 60)
+	resOp, err := fact.Solve(context.Background(), sparse.NewLapOperator(g), xOp, b, solver.Options{Tol: 1e-10})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("operator solve: %v", err)
 	}
-	xFact := make([]float64, 60)
-	resFact, err := fact.NewSolver().SolveSystem(sparse.NewLapOperator(g), xFact, b, &sparse.CGOptions{Tol: 1e-10})
-	if err != nil {
-		t.Fatalf("factorized solve: %v", err)
+	if !resGraph.Outer.Converged || !resOp.Outer.Converged {
+		t.Fatalf("convergence: graph=%v op=%v", resGraph.Outer.Converged, resOp.Outer.Converged)
 	}
-	if !resDirect.Outer.Converged || !resFact.Outer.Converged {
-		t.Fatalf("convergence: direct=%v fact=%v", resDirect.Outer.Converged, resFact.Outer.Converged)
-	}
-	for i := range xDirect {
-		if math.Abs(xDirect[i]-xFact[i]) > 1e-6 {
-			t.Fatalf("solutions diverge at %d: %v vs %v", i, xDirect[i], xFact[i])
+	for i := range xGraph {
+		if math.Abs(xGraph[i]-xOp[i]) > 1e-6 {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, xGraph[i], xOp[i])
 		}
 	}
 }
 
 // TestFactorizationConcurrentSolves shares one factorization across many
-// goroutines, each with a private solver handle, under the race detector.
+// goroutines under the race detector: each call checks out a private pooled
+// solve state, so no two in-flight solves may share scratch.
 func TestFactorizationConcurrentSolves(t *testing.T) {
 	g := ring(80)
-	fact, err := Factorize(g, Options{})
+	fact, err := Factorize(g, solver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestFactorizationConcurrentSolves(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < 5; k++ {
 				x := make([]float64, 80)
-				res, err := fact.NewSolver().SolveSystem(gop, x, b, &sparse.CGOptions{Tol: 1e-8})
+				res, err := fact.Solve(context.Background(), gop, x, b, solver.Options{Tol: 1e-8})
 				if err != nil || !res.Outer.Converged {
 					t.Errorf("concurrent solve failed: %v (converged=%v)", err, res.Outer.Converged)
 					return
@@ -99,7 +99,44 @@ func TestFactorizationConcurrentSolves(t *testing.T) {
 }
 
 func TestFactorizeEmpty(t *testing.T) {
-	if _, err := Factorize(graph.New(0, 0), Options{}); err == nil {
+	if _, err := Factorize(graph.New(0, 0), solver.Options{}); err == nil {
 		t.Fatal("want error for empty sparsifier")
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	fact, err := Factorize(ring(20), solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gop := sparse.NewLapOperator(ring(30))
+	if _, err := fact.Solve(context.Background(), gop, make([]float64, 30), make([]float64, 30), solver.Options{}); err == nil {
+		t.Fatal("want system-dimension error")
+	}
+	gop20 := sparse.NewLapOperator(ring(20))
+	if _, err := fact.Solve(context.Background(), gop20, make([]float64, 5), make([]float64, 20), solver.Options{}); err == nil {
+		t.Fatal("want vector-dimension error")
+	}
+}
+
+// TestSolveCancelledContext verifies the acceptance contract: a solve
+// issued with an already-cancelled context returns an ErrCancelled-matching
+// error without running any outer iteration.
+func TestSolveCancelledContext(t *testing.T) {
+	g := ring(120)
+	fact, err := Factorize(g, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gop := sparse.NewLapOperator(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := make([]float64, 120)
+	res, err := fact.Solve(ctx, gop, x, rhsFor(120), solver.Options{})
+	if !errors.Is(err, solver.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrCancelled/context.Canceled, got %v", err)
+	}
+	if res.Outer.Iterations != 0 {
+		t.Fatalf("cancelled solve ran %d iterations", res.Outer.Iterations)
 	}
 }

@@ -6,68 +6,21 @@
 // inner solves stay cheap.
 //
 // The preconditioner runs a truncated Jacobi-PCG on the sparsifier per
-// application, so it is mildly nonlinear; use it with sparse.FlexibleCG.
+// application, so it is mildly nonlinear; the outer solve is
+// sparse.FlexibleCG. Factorization is the shared, immutable half; each
+// Solve call checks a pooled, goroutine-confined solve state (workspace +
+// counters) out of the factorization, so the warm solve path allocates
+// nothing.
 package precond
 
 import (
-	"fmt"
+	"context"
+	"sync"
 
-	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
-
-// Sparsifier is a Laplacian preconditioner backed by a sparsifier graph.
-type Sparsifier struct {
-	solver *sparse.LaplacianSolver
-	// Applications counts preconditioner invocations.
-	Applications int
-}
-
-// Options configures the inner (sparsifier) solve per application.
-type Options struct {
-	// InnerIters caps the inner PCG iterations per application. Small
-	// values (10-40) are typical: the preconditioner only needs to capture
-	// the sparsifier's action approximately. Default 25.
-	InnerIters int
-	// InnerTol is the inner relative-residual target. Default 1e-2 — the
-	// outer FCG tolerates loose inner solves.
-	InnerTol float64
-	// Workers parallelizes the inner Laplacian products.
-	Workers int
-}
-
-func (o Options) withDefaults() Options {
-	if o.InnerIters <= 0 {
-		o.InnerIters = 25
-	}
-	if o.InnerTol <= 0 {
-		o.InnerTol = 1e-2
-	}
-	return o
-}
-
-// New builds a preconditioner from the sparsifier h (which must span the
-// node set of the system's graph and be connected).
-func New(h *graph.Graph, opts Options) (*Sparsifier, error) {
-	if h.NumNodes() == 0 {
-		return nil, fmt.Errorf("precond: empty sparsifier")
-	}
-	o := opts.withDefaults()
-	s := sparse.NewLaplacianSolver(h, &sparse.CGOptions{
-		Tol:     o.InnerTol,
-		MaxIter: o.InnerIters,
-	}, o.Workers)
-	return &Sparsifier{solver: s}, nil
-}
-
-// Apply computes dst ~= L_H^+ src (mean-centered). Convergence failures of
-// the truncated inner solve are expected and benign: the partial iterate is
-// still an SPD-like contraction that FlexibleCG accepts.
-func (p *Sparsifier) Apply(dst, src []float64) {
-	p.Applications++
-	_, _ = p.solver.Solve(dst, src)
-}
 
 // SolveResult reports a preconditioned solve.
 type SolveResult struct {
@@ -75,26 +28,50 @@ type SolveResult struct {
 	InnerUses int
 }
 
-// Solve runs FlexibleCG on L_G x = b with this preconditioner. b is
-// mean-centered internally (Laplacian systems are only consistent on the
-// complement of ones); the solution is mean-zero.
-func (p *Sparsifier) Solve(g *graph.Graph, x, b []float64, opts *sparse.CGOptions) (SolveResult, error) {
-	return p.SolveSystem(sparse.NewLapOperator(g), x, b, opts)
+// solveState is the per-call mutable half of a solve: the scratch
+// workspace, the request context, and the application counter. It
+// implements sparse.Preconditioner (one truncated inner PCG on L_H per
+// application). States are pooled on the Factorization and confined to one
+// solve call tree while checked out.
+type solveState struct {
+	f            *Factorization
+	ws           *solver.Workspace
+	ctx          context.Context
+	inner        solver.Options
+	applications int
+	// callerProj is a reusable projection wrapper for system operators
+	// that arrive unprojected, avoiding a per-solve allocation.
+	callerProj sparse.ProjectedOperator
 }
 
-// SolveSystem is Solve with a caller-provided frozen system operator,
-// letting repeated solves against the same G skip the per-call CSR
-// construction (the service layer caches one operator per snapshot
-// generation).
-func (p *Sparsifier) SolveSystem(sys sparse.Operator, x, b []float64, opts *sparse.CGOptions) (SolveResult, error) {
-	op := &sparse.ProjectedOperator{Inner: sys}
-	rhs := append([]float64(nil), b...)
+// Precond computes dst ~= L_H^+ src (mean-centered) by a truncated inner
+// Jacobi-PCG. Convergence failures of the truncated solve are expected and
+// benign: the partial iterate is still an SPD-like contraction that the
+// outer flexible CG accepts. A cancelled context makes the inner solve
+// return immediately; the outer loop then observes the same context and
+// aborts.
+func (st *solveState) Precond(dst, src []float64) {
+	st.applications++
+	mark := st.ws.Mark()
+	defer st.ws.Release(mark)
+	rhs := st.ws.Take()
+	copy(rhs, src)
 	vecmath.CenterMean(rhs)
-	vecmath.Zero(x)
-	before := p.Applications
-	res, err := sparse.FlexibleCG(op, x, rhs, func(dst, src []float64) {
-		p.Apply(dst, src)
-	}, opts)
-	vecmath.CenterMean(x)
-	return SolveResult{Outer: res, InnerUses: p.Applications - before}, err
+	vecmath.Zero(dst)
+	_, _ = sparse.CG(st.ctx, st.f.proj, dst, rhs, st.f.hop.Jacobi(), st.ws, st.inner)
+	vecmath.CenterMean(dst)
+}
+
+var _ sparse.Preconditioner = (*solveState)(nil)
+
+// statePool wraps sync.Pool with typed checkout.
+type statePool struct {
+	p sync.Pool
+}
+
+func (sp *statePool) get() *solveState { return sp.p.Get().(*solveState) }
+func (sp *statePool) put(st *solveState) {
+	st.ctx = nil
+	st.callerProj.Inner = nil
+	sp.p.Put(st)
 }

@@ -1,10 +1,12 @@
 package precond
 
 import (
+	"context"
 	"testing"
 
 	"ingrass/internal/graph"
 	"ingrass/internal/grass"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
@@ -26,8 +28,8 @@ func grid(r, c int) *graph.Graph {
 	return g
 }
 
-func TestNewErrors(t *testing.T) {
-	if _, err := New(graph.New(0, 0), Options{}); err == nil {
+func TestFactorizeErrors(t *testing.T) {
+	if _, err := Factorize(graph.New(0, 0), solver.Options{}); err == nil {
 		t.Fatal("expected empty-sparsifier error")
 	}
 }
@@ -38,7 +40,7 @@ func TestSolveCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := New(init.H, Options{})
+	p, err := Factorize(init.H, solver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func TestSolveCorrectness(t *testing.T) {
 	vecmath.NewRNG(2).FillNormal(b)
 	vecmath.CenterMean(b)
 	x := make([]float64, n)
-	res, err := p.Solve(g, x, b, &sparse.CGOptions{Tol: 1e-9, MaxIter: 2000})
+	res, err := p.SolveGraph(context.Background(), g, x, b, solver.Options{Tol: 1e-9, MaxIter: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func TestSolveCorrectness(t *testing.T) {
 	if vecmath.Norm2(lx) > 1e-7*vecmath.Norm2(b) {
 		t.Fatalf("residual %v", vecmath.Norm2(lx))
 	}
-	if res.InnerUses == 0 || p.Applications == 0 {
+	if res.InnerUses == 0 {
 		t.Fatal("preconditioner never used")
 	}
 }
@@ -84,20 +86,19 @@ func TestSparsifierPrecondBeatsJacobi(t *testing.T) {
 	lop := sparse.NewLapOperator(g)
 	proj := &sparse.ProjectedOperator{Inner: lop}
 	xJ := make([]float64, n)
-	resJ, err := sparse.CG(proj, xJ, b, &sparse.CGOptions{
-		Tol: 1e-8, MaxIter: 5000, Precond: sparse.JacobiPrecond(lop.Diagonal()),
-	})
+	resJ, err := sparse.CG(context.Background(), proj, xJ, b, lop.Jacobi(), nil,
+		solver.Options{Tol: 1e-8, MaxIter: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Sparsifier-preconditioned FCG.
-	p, err := New(init.H, Options{InnerIters: 30})
+	p, err := Factorize(init.H, solver.Options{InnerIters: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
 	xS := make([]float64, n)
-	resS, err := p.Solve(g, xS, b, &sparse.CGOptions{Tol: 1e-8, MaxIter: 5000})
+	resS, err := p.Solve(context.Background(), proj, xS, b, solver.Options{Tol: 1e-8, MaxIter: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFlexibleCGZeroRHS(t *testing.T) {
 	op := &sparse.ProjectedOperator{Inner: sparse.NewLapOperator(g)}
 	x := make([]float64, g.NumNodes())
 	vecmath.Fill(x, 3)
-	res, err := sparse.FlexibleCG(op, x, make([]float64, g.NumNodes()), nil, nil)
+	res, err := sparse.FlexibleCG(context.Background(), op, x, make([]float64, g.NumNodes()), nil, nil, solver.Options{})
 	if err != nil || !res.Converged {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}
@@ -130,8 +131,8 @@ func TestFlexibleCGMatchesCGUnpreconditioned(t *testing.T) {
 	vecmath.CenterMean(b)
 	x1 := make([]float64, n)
 	x2 := make([]float64, n)
-	r1, err1 := sparse.CG(op, x1, b, &sparse.CGOptions{Tol: 1e-10})
-	r2, err2 := sparse.FlexibleCG(op, x2, b, nil, &sparse.CGOptions{Tol: 1e-10})
+	r1, err1 := sparse.CG(context.Background(), op, x1, b, nil, nil, solver.Options{Tol: 1e-10})
+	r2, err2 := sparse.FlexibleCG(context.Background(), op, x2, b, nil, nil, solver.Options{Tol: 1e-10})
 	if err1 != nil || err2 != nil {
 		t.Fatalf("errs: %v %v", err1, err2)
 	}
@@ -149,7 +150,7 @@ func TestFlexibleCGMatchesCGUnpreconditioned(t *testing.T) {
 func TestFlexibleCGDimensionError(t *testing.T) {
 	g := grid(3, 3)
 	op := sparse.NewLapOperator(g)
-	if _, err := sparse.FlexibleCG(op, make([]float64, 2), make([]float64, 9), nil, nil); err == nil {
+	if _, err := sparse.FlexibleCG(context.Background(), op, make([]float64, 2), make([]float64, 9), nil, nil, solver.Options{}); err == nil {
 		t.Fatal("expected dimension error")
 	}
 }

@@ -13,10 +13,12 @@
 package resist
 
 import (
+	"context"
 	"fmt"
 
 	"ingrass/internal/graph"
 	"ingrass/internal/krylov"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/tree"
 )
@@ -37,17 +39,20 @@ type Exact struct {
 }
 
 // NewExact builds the exact oracle. g must be connected for meaningful
-// answers. tol <= 0 defaults to 1e-10.
-func NewExact(g *graph.Graph, tol float64) *Exact {
-	if tol <= 0 {
-		tol = 1e-10
+// answers. A zero opts.Tol defaults to 1e-10 (tighter than the general
+// solver default: this is the validation oracle).
+func NewExact(g *graph.Graph, opts solver.Options) *Exact {
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
 	}
-	return &Exact{solver: sparse.NewLaplacianSolver(g, &sparse.CGOptions{Tol: tol}, 0)}
+	return &Exact{solver: sparse.NewLaplacianSolver(g, opts)}
 }
 
-// Resistance solves L x = b_pq and returns x_p - x_q.
+// Resistance solves L x = b_pq and returns x_p - x_q. The Oracle interface
+// is context-free (estimator strategies answer in O(1)); exact solves run
+// uncancellable under context.Background.
 func (e *Exact) Resistance(p, q int) float64 {
-	r, err := e.solver.SolvePair(p, q)
+	r, err := e.solver.SolvePair(context.Background(), p, q)
 	if err != nil {
 		// Loose convergence still yields a usable estimate; only report
 		// the value.

@@ -6,6 +6,7 @@ import (
 
 	"ingrass/internal/graph"
 	"ingrass/internal/krylov"
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
@@ -42,7 +43,7 @@ func TestExactKnownValues(t *testing.T) {
 	g := graph.New(3, 2)
 	g.AddEdge(0, 1, 2)
 	g.AddEdge(1, 2, 4)
-	ex := NewExact(g, 1e-12)
+	ex := NewExact(g, solver.Options{Tol: 1e-12})
 	if r := ex.Resistance(0, 2); math.Abs(r-0.75) > 1e-9 {
 		t.Fatalf("R(0,2) = %v, want 0.75", r)
 	}
@@ -56,7 +57,7 @@ func TestExactKnownValues(t *testing.T) {
 
 func TestTreeUpperBounds(t *testing.T) {
 	g := grid(6, 6)
-	ex := NewExact(g, 1e-11)
+	ex := NewExact(g, solver.Options{Tol: 1e-11})
 	tr := NewTree(g, 1)
 	st := Compare(tr, ex, randomPairs(36, 40, 2))
 	if !st.UpperBoundOK {
@@ -72,7 +73,7 @@ func TestTreeUpperBounds(t *testing.T) {
 
 func TestKrylovCloseToExact(t *testing.T) {
 	g := grid(6, 6)
-	ex := NewExact(g, 1e-11)
+	ex := NewExact(g, solver.Options{Tol: 1e-11})
 	kr, err := NewKrylov(g, krylov.Config{Seed: 3, Order: 24, Starts: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +97,7 @@ func TestKrylovErrorPropagation(t *testing.T) {
 
 func TestCachingOracle(t *testing.T) {
 	g := grid(5, 5)
-	ex := NewExact(g, 1e-10)
+	ex := NewExact(g, solver.Options{Tol: 1e-10})
 	c := NewCaching(ex)
 	a := c.Resistance(0, 24)
 	b := c.Resistance(24, 0) // symmetric key: must hit
@@ -119,7 +120,7 @@ func TestCachingOracle(t *testing.T) {
 
 func TestCompareEmptyPairs(t *testing.T) {
 	g := grid(3, 3)
-	ex := NewExact(g, 1e-10)
+	ex := NewExact(g, solver.Options{Tol: 1e-10})
 	st := Compare(ex, ex, [][2]int{{1, 1}})
 	if st.Pairs != 0 {
 		t.Fatal("self pairs must be skipped")
@@ -128,7 +129,7 @@ func TestCompareEmptyPairs(t *testing.T) {
 
 func TestExactSymmetryProperty(t *testing.T) {
 	g := grid(5, 5)
-	ex := NewExact(g, 1e-11)
+	ex := NewExact(g, solver.Options{Tol: 1e-11})
 	r := vecmath.NewRNG(5)
 	for i := 0; i < 15; i++ {
 		p, q := r.Intn(25), r.Intn(25)
@@ -141,7 +142,7 @@ func TestExactSymmetryProperty(t *testing.T) {
 // Triangle inequality: effective resistance is a metric.
 func TestExactTriangleInequality(t *testing.T) {
 	g := grid(5, 5)
-	ex := NewCaching(NewExact(g, 1e-11))
+	ex := NewCaching(NewExact(g, solver.Options{Tol: 1e-11}))
 	r := vecmath.NewRNG(6)
 	for i := 0; i < 25; i++ {
 		a, b, c := r.Intn(25), r.Intn(25), r.Intn(25)
@@ -154,7 +155,7 @@ func TestExactTriangleInequality(t *testing.T) {
 // Rayleigh monotonicity: adding an edge can only decrease resistances.
 func TestRayleighMonotonicity(t *testing.T) {
 	g := grid(5, 5)
-	before := NewCaching(NewExact(g, 1e-11))
+	before := NewCaching(NewExact(g, solver.Options{Tol: 1e-11}))
 	pairs := randomPairs(25, 15, 7)
 	vals := make([]float64, len(pairs))
 	for i, pq := range pairs {
@@ -162,7 +163,7 @@ func TestRayleighMonotonicity(t *testing.T) {
 	}
 	g2 := g.Clone()
 	g2.AddEdge(0, 24, 2) // new long-range edge
-	after := NewCaching(NewExact(g2, 1e-11))
+	after := NewCaching(NewExact(g2, solver.Options{Tol: 1e-11}))
 	for i, pq := range pairs {
 		if after.Resistance(pq[0], pq[1]) > vals[i]+1e-8 {
 			t.Fatalf("resistance increased after adding an edge at pair %v", pq)

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"ingrass/internal/solver"
+	"ingrass/internal/vecmath"
+)
+
+func warmRHS(n int) []float64 {
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i))
+	}
+	vecmath.CenterMean(rhs)
+	return rhs
+}
+
+// TestWarmSolveAllocationFree is the allocation-regression gate from the
+// roadmap's bounded-per-request-work goal: once the per-generation
+// factorization and the workspace pools are warm, SolveInto must not
+// allocate — all scratch comes from pooled workspaces. The budget of 1.0
+// absorbs rare pool refills when GC empties a sync.Pool mid-run; the
+// steady-state count is 0.
+func TestWarmSolveAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are not meaningful")
+	}
+	e := newEngine(t, 16, 16, Options{})
+	snap := e.Current()
+	n := snap.G.NumNodes()
+	rhs := warmRHS(n)
+	x := make([]float64, n)
+	ctx := context.Background()
+	opts := solver.Options{Tol: 1e-8}
+
+	// Warm the factorization, the state pool, and the workspace pools.
+	for i := 0; i < 3; i++ {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1.0 {
+		t.Fatalf("warm SolveInto allocates %.2f objects/op, want ~0", allocs)
+	}
+}
+
+// TestWarmResistanceAllocationFree covers the second read path that used
+// to allocate rhs/solution vectors per query.
+func TestWarmResistanceAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are not meaningful")
+	}
+	e := newEngine(t, 12, 12, Options{})
+	snap := e.Current()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := snap.EffectiveResistance(ctx, 0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := snap.EffectiveResistance(ctx, 0, 5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1.0 {
+		t.Fatalf("warm EffectiveResistance allocates %.2f objects/op, want ~0", allocs)
+	}
+}
+
+// TestSolveCancelledContext is the service-level acceptance check: a solve
+// issued with an already-cancelled context returns an ErrCancelled-matching
+// error without consuming any iteration budget.
+func TestSolveCancelledContext(t *testing.T) {
+	e := newEngine(t, 12, 12, Options{})
+	snap := e.Current()
+	rhs := warmRHS(snap.G.NumNodes())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := snap.Solve(ctx, rhs, solver.Options{})
+	if !errors.Is(err, solver.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrCancelled/context.Canceled, got %v", err)
+	}
+	if st.Iterations != 0 {
+		t.Fatalf("cancelled solve reported %d iterations", st.Iterations)
+	}
+	if _, err := snap.EffectiveResistance(ctx, 0, 1); !errors.Is(err, solver.ErrCancelled) {
+		t.Fatalf("resistance on cancelled ctx: want ErrCancelled, got %v", err)
+	}
+	if _, err := snap.ConditionNumber(ctx, 1); !errors.Is(err, solver.ErrCancelled) {
+		t.Fatalf("cond on cancelled ctx: want ErrCancelled, got %v", err)
+	}
+}
+
+// TestSolvePerRequestOptions checks that the unified options reach the
+// innermost loop: a one-iteration budget must abort with ErrNoConvergence
+// after exactly one outer iteration.
+func TestSolvePerRequestOptions(t *testing.T) {
+	e := newEngine(t, 12, 12, Options{})
+	snap := e.Current()
+	rhs := warmRHS(snap.G.NumNodes())
+	_, st, err := snap.Solve(context.Background(), rhs, solver.Options{Tol: 1e-14, MaxIter: 1})
+	if !errors.Is(err, solver.ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+	if st.Iterations != 1 {
+		t.Fatalf("MaxIter=1 ran %d iterations", st.Iterations)
+	}
+}
+
+// TestWorkspacePoolHammer drives concurrent solves against one snapshot
+// under -race: every pooled solve state and workspace checkout must be
+// exclusively owned while in flight, and every solution must be correct
+// (detecting scratch shared across goroutines, which would corrupt
+// results long before the race detector fires).
+func TestWorkspacePoolHammer(t *testing.T) {
+	e := newEngine(t, 16, 16, Options{})
+	snap := e.Current()
+	n := snap.G.NumNodes()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rhs := make([]float64, n)
+			x := make([]float64, n)
+			lx := make([]float64, n)
+			for it := 0; it < 25; it++ {
+				// Distinct RHS per goroutine+iteration so cross-talk between
+				// workspaces shows up as a wrong residual.
+				for i := range rhs {
+					rhs[i] = math.Sin(float64(i*(id+1) + it))
+				}
+				vecmath.CenterMean(rhs)
+				st, err := snap.SolveInto(ctx, x, rhs, solver.Options{Tol: 1e-8})
+				if err != nil || !st.Converged {
+					t.Errorf("goroutine %d iter %d: err=%v converged=%v", id, it, err, st.Converged)
+					return
+				}
+				snap.G.LapMul(lx, x)
+				vecmath.Sub(lx, lx, rhs)
+				if vecmath.Norm2(lx) > 1e-6*vecmath.Norm2(rhs) {
+					t.Errorf("goroutine %d iter %d: residual %g — workspace corruption?",
+						id, it, vecmath.Norm2(lx))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkSolveWarm reports ns/op and allocs/op for the warm solve path;
+// CI's allocation smoke step runs it with -benchmem and the companion
+// TestWarmSolveAllocationFree asserts the budget.
+func BenchmarkSolveWarm(b *testing.B) {
+	e := newEngine(b, 16, 16, Options{})
+	snap := e.Current()
+	n := snap.G.NumNodes()
+	rhs := warmRHS(n)
+	x := make([]float64, n)
+	ctx := context.Background()
+	opts := solver.Options{Tol: 1e-8}
+	if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
@@ -26,7 +28,7 @@ func BenchmarkSolveThroughput(b *testing.B) {
 			}
 			vecmath.CenterMean(rhs)
 			// Warm the per-generation factorization outside the timer.
-			if _, _, err := snap.Solve(rhs, 1e-8); err != nil {
+			if _, _, err := snap.Solve(context.Background(), rhs, solver.Options{Tol: 1e-8}); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
@@ -37,7 +39,7 @@ func BenchmarkSolveThroughput(b *testing.B) {
 				go func() {
 					defer wg.Done()
 					for next.Add(1) <= int64(b.N) {
-						if _, _, err := snap.Solve(rhs, 1e-8); err != nil {
+						if _, _, err := snap.Solve(context.Background(), rhs, solver.Options{Tol: 1e-8}); err != nil {
 							b.Error(err)
 							return
 						}

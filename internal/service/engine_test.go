@@ -12,6 +12,7 @@ import (
 	"ingrass/internal/grass"
 	"ingrass/internal/krylov"
 	"ingrass/internal/lrd"
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
@@ -210,7 +211,7 @@ func TestSolveAgainstSnapshot(t *testing.T) {
 		b[i] = math.Cos(float64(3 * i))
 	}
 	vecmath.CenterMean(b)
-	x, st, err := snap.Solve(b, 1e-8)
+	x, st, err := snap.Solve(context.Background(), b, solver.Options{Tol: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestPrecondCachePerGeneration(t *testing.T) {
 	before := e.Stats()
 	const solves = 8
 	for i := 0; i < solves; i++ {
-		if _, _, err := snap.Solve(b, 1e-8); err != nil {
+		if _, _, err := snap.Solve(context.Background(), b, solver.Options{Tol: 1e-8}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -253,7 +254,7 @@ func TestPrecondCachePerGeneration(t *testing.T) {
 func TestEffectiveResistance(t *testing.T) {
 	e := newEngine(t, 6, 6, Options{})
 	snap := e.Current()
-	r, err := snap.EffectiveResistance(0, 1)
+	r, err := snap.EffectiveResistance(context.Background(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,24 +262,24 @@ func TestEffectiveResistance(t *testing.T) {
 		// Adjacent unit-weight grid nodes: parallel paths force R < 1.
 		t.Fatalf("resistance %v out of (0, 1)", r)
 	}
-	rBack, err := snap.EffectiveResistance(1, 0)
+	rBack, err := snap.EffectiveResistance(context.Background(), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(r-rBack) > 1e-6 {
 		t.Fatalf("asymmetric resistance: %v vs %v", r, rBack)
 	}
-	if same, err := snap.EffectiveResistance(3, 3); err != nil || same != 0 {
+	if same, err := snap.EffectiveResistance(context.Background(), 3, 3); err != nil || same != 0 {
 		t.Fatalf("self resistance: %v, %v", same, err)
 	}
-	if _, err := snap.EffectiveResistance(-1, 2); err == nil {
+	if _, err := snap.EffectiveResistance(context.Background(), -1, 2); err == nil {
 		t.Fatal("out-of-range endpoint accepted")
 	}
 }
 
 func TestConditionNumberOnSnapshot(t *testing.T) {
 	e := newEngine(t, 6, 6, Options{})
-	k, err := e.Current().ConditionNumber(1)
+	k, err := e.Current().ConditionNumber(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately drops items under -race to widen interleavings, so
+// allocation-count assertions are only meaningful without it.
+const raceEnabled = true

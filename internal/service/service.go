@@ -28,7 +28,7 @@ import (
 
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
-	"ingrass/internal/precond"
+	"ingrass/internal/solver"
 )
 
 // Options configures an Engine.
@@ -45,8 +45,10 @@ type Options struct {
 	// Retain is how many recent snapshots stay addressable by generation.
 	// Default 4.
 	Retain int
-	// Precond configures the per-snapshot preconditioner factorization.
-	Precond precond.Options
+	// Solver is the engine-level solve default set: it configures every
+	// per-snapshot preconditioner factorization (inner tolerances, worker
+	// counts) and is the base that per-request options override.
+	Solver solver.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -96,7 +98,7 @@ func New(sp *core.Sparsifier, opts Options) *Engine {
 	}
 	e.reqs = make(chan *request, e.opts.QueueCapacity)
 	e.reg = NewRegistry(e.opts.Retain)
-	e.reg.Publish(newSnapshot(0, sp.G.Snapshot(), sp.H.Snapshot(), &e.stats, e.opts.Precond))
+	e.reg.Publish(newSnapshot(0, sp.G.Snapshot(), sp.H.Snapshot(), &e.stats, e.opts.Solver))
 	e.wg.Add(1)
 	go e.run()
 	return e
@@ -106,7 +108,7 @@ func New(sp *core.Sparsifier, opts Options) *Engine {
 // Callers hold e.mu.
 func (e *Engine) publishLocked() *Snapshot {
 	gen := e.stats.generation.Add(1)
-	snap := newSnapshot(gen, e.sp.G.Snapshot(), e.sp.H.Snapshot(), &e.stats, e.opts.Precond)
+	snap := newSnapshot(gen, e.sp.G.Snapshot(), e.sp.H.Snapshot(), &e.stats, e.opts.Solver)
 	e.reg.Publish(snap)
 	return snap
 }

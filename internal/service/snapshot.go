@@ -1,13 +1,16 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"ingrass/internal/cond"
 	"ingrass/internal/graph"
 	"ingrass/internal/precond"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
+	"ingrass/internal/vecmath"
 )
 
 // Snapshot is one immutable generation of the service's state: copy-on-write
@@ -25,19 +28,20 @@ type Snapshot struct {
 	G, H *graph.Graph
 
 	stats *Stats
-	popts precond.Options
+	sopts solver.Options
 
-	// The factorized preconditioner and the frozen system operator are
-	// built on first use and shared by every subsequent solve on this
-	// generation — the "skip setup on repeated solves" cache.
+	// The factorized preconditioner and the frozen, projected system
+	// operator are built on first use and shared by every subsequent solve
+	// on this generation — the "skip setup on repeated solves" cache.
 	once    sync.Once
 	gop     *sparse.LapOperator
+	proj    *sparse.ProjectedOperator
 	fact    *precond.Factorization
 	factErr error
 }
 
-func newSnapshot(gen uint64, g, h *graph.Graph, stats *Stats, popts precond.Options) *Snapshot {
-	return &Snapshot{Gen: gen, G: g, H: h, stats: stats, popts: popts}
+func newSnapshot(gen uint64, g, h *graph.Graph, stats *Stats, sopts solver.Options) *Snapshot {
+	return &Snapshot{Gen: gen, G: g, H: h, stats: stats, sopts: sopts}
 }
 
 // ensureFactorized builds the per-generation solve state exactly once and
@@ -47,9 +51,10 @@ func (s *Snapshot) ensureFactorized() error {
 	s.once.Do(func() {
 		first = true
 		gop := sparse.NewLapOperator(s.G)
-		gop.Workers = s.popts.Workers
+		gop.Workers = s.sopts.Workers
 		s.gop = gop
-		s.fact, s.factErr = precond.Factorize(s.H, s.popts)
+		s.proj = &sparse.ProjectedOperator{Inner: gop}
+		s.fact, s.factErr = precond.Factorize(s.H, s.sopts)
 		s.stats.precondBuilds.Add(1)
 	})
 	if !first && s.factErr == nil {
@@ -67,19 +72,24 @@ type SolveStats struct {
 	PrecondUses int
 }
 
-// Solve computes x = L_G^+ b against this snapshot via sparsifier-
-// preconditioned flexible CG. It is safe to call from any number of
-// goroutines; each call gets a private solver handle over the shared
-// factorization. tol is the relative residual target (0 means 1e-8).
-func (s *Snapshot) Solve(b []float64, tol float64) ([]float64, SolveStats, error) {
+// SolveInto computes x = L_G^+ b against this snapshot via sparsifier-
+// preconditioned flexible CG, writing the solution into the caller-provided
+// x. It is safe to call from any number of goroutines; each call checks a
+// pooled, goroutine-confined solve state out of the shared factorization,
+// so the warm path allocates nothing. opts overrides the engine solve
+// defaults field-wise for this request; ctx aborts the solve within one
+// iteration of cancellation (partial stats are still returned).
+func (s *Snapshot) SolveInto(ctx context.Context, x, b []float64, opts solver.Options) (SolveStats, error) {
 	if len(b) != s.G.NumNodes() {
-		return nil, SolveStats{}, fmt.Errorf("service: rhs length %d != %d nodes", len(b), s.G.NumNodes())
+		return SolveStats{}, fmt.Errorf("service: rhs length %d != %d nodes", len(b), s.G.NumNodes())
+	}
+	if len(x) != len(b) {
+		return SolveStats{}, fmt.Errorf("service: solution length %d != rhs length %d", len(x), len(b))
 	}
 	if err := s.ensureFactorized(); err != nil {
-		return nil, SolveStats{}, err
+		return SolveStats{}, err
 	}
-	x := make([]float64, s.G.NumNodes())
-	res, err := s.fact.NewSolver().SolveSystem(s.gop, x, b, &sparse.CGOptions{Tol: tol})
+	res, err := s.fact.Solve(ctx, s.proj, x, b, opts)
 	st := SolveStats{
 		Generation:  s.Gen,
 		Iterations:  res.Outer.Iterations,
@@ -89,6 +99,16 @@ func (s *Snapshot) Solve(b []float64, tol float64) ([]float64, SolveStats, error
 	}
 	s.stats.solves.Add(1)
 	s.stats.solveIters.Add(uint64(res.Outer.Iterations))
+	return st, err
+}
+
+// Solve is SolveInto with a freshly allocated solution vector.
+func (s *Snapshot) Solve(ctx context.Context, b []float64, opts solver.Options) ([]float64, SolveStats, error) {
+	if len(b) != s.G.NumNodes() {
+		return nil, SolveStats{}, fmt.Errorf("service: rhs length %d != %d nodes", len(b), s.G.NumNodes())
+	}
+	x := make([]float64, len(b))
+	st, err := s.SolveInto(ctx, x, b, opts)
 	if err != nil {
 		return x, st, err
 	}
@@ -97,7 +117,9 @@ func (s *Snapshot) Solve(b []float64, tol float64) ([]float64, SolveStats, error
 
 // EffectiveResistance computes the effective resistance between u and v on
 // this snapshot's original graph, reusing the cached preconditioner.
-func (s *Snapshot) EffectiveResistance(u, v int) (float64, error) {
+// Scratch comes from the snapshot operator's workspace pool, so warm
+// queries allocate nothing.
+func (s *Snapshot) EffectiveResistance(ctx context.Context, u, v int) (float64, error) {
 	n := s.G.NumNodes()
 	if u < 0 || u >= n || v < 0 || v >= n {
 		return 0, fmt.Errorf("service: resistance endpoints (%d, %d) out of range [0, %d)", u, v, n)
@@ -109,20 +131,28 @@ func (s *Snapshot) EffectiveResistance(u, v int) (float64, error) {
 	if err := s.ensureFactorized(); err != nil {
 		return 0, err
 	}
-	b := make([]float64, n)
-	b[u], b[v] = 1, -1
-	x := make([]float64, n)
-	if _, err := s.fact.NewSolver().SolveSystem(s.gop, x, b, nil); err != nil {
+	pool := s.gop.Workspaces()
+	ws := pool.Get()
+	defer pool.Put(ws)
+	b := ws.Take()
+	x := ws.Take()
+	vecmath.Basis(b, u, v)
+	if _, err := s.fact.Solve(ctx, s.proj, x, b, solver.Options{}); err != nil {
 		return 0, err
 	}
 	return x[u] - x[v], nil
 }
 
 // ConditionNumber estimates kappa(L_G, L_H) for this snapshot — the
-// spectral-similarity health check.
-func (s *Snapshot) ConditionNumber(seed uint64) (float64, error) {
+// spectral-similarity health check. ctx cancellation aborts the power
+// iteration between steps.
+func (s *Snapshot) ConditionNumber(ctx context.Context, seed uint64) (float64, error) {
 	s.stats.condQueries.Add(1)
-	res, err := cond.Estimate(s.G, s.H, cond.Options{Seed: seed, LambdaMaxOnly: true})
+	res, err := cond.Estimate(ctx, s.G, s.H, cond.Options{
+		Seed:          seed,
+		LambdaMaxOnly: true,
+		Solver:        solver.Options{Workers: s.sopts.Workers},
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
@@ -106,7 +108,7 @@ func TestStressConcurrentReadersLiveWriter(t *testing.T) {
 				snap := e.Current()
 				switch (id + iter) % 4 {
 				case 0, 1:
-					x, st, err := snap.Solve(b, 1e-6)
+					x, st, err := snap.Solve(context.Background(), b, solver.Options{Tol: 1e-6})
 					if err != nil || !st.Converged || len(x) != n || st.Generation != snap.Gen {
 						readErrors.Add(1)
 						return
@@ -114,7 +116,7 @@ func TestStressConcurrentReadersLiveWriter(t *testing.T) {
 					solvesDone.Add(1)
 				case 2:
 					u, v := (id*7+iter)%n, (id*13+iter*3)%n
-					res, err := snap.EffectiveResistance(u, v)
+					res, err := snap.EffectiveResistance(context.Background(), u, v)
 					if err != nil || (u != v && !(res > 0)) || math.IsNaN(res) {
 						readErrors.Add(1)
 						return
@@ -143,7 +145,7 @@ func TestStressConcurrentReadersLiveWriter(t *testing.T) {
 					}
 				}
 				if id == 0 && iter%64 == 0 {
-					if _, err := snap.ConditionNumber(1); err != nil {
+					if _, err := snap.ConditionNumber(context.Background(), 1); err != nil {
 						readErrors.Add(1)
 						return
 					}
@@ -209,7 +211,7 @@ func TestStressConcurrentReadersLiveWriter(t *testing.T) {
 	before := e.Stats()
 	const repeats = 10
 	for i := 0; i < repeats; i++ {
-		if _, _, err := final.Solve(b, 1e-8); err != nil {
+		if _, _, err := final.Solve(context.Background(), b, solver.Options{Tol: 1e-8}); err != nil {
 			t.Fatal(err)
 		}
 	}

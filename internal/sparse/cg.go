@@ -1,48 +1,17 @@
 package sparse
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
-// ErrNoConvergence is returned when an iterative solve exhausts its
-// iteration budget before reaching the requested tolerance. The partial
-// solution is still returned alongside it, since downstream estimators can
-// often tolerate loose solves.
-var ErrNoConvergence = errors.New("sparse: iteration limit reached before convergence")
-
-// CGOptions controls the conjugate-gradient solvers.
-type CGOptions struct {
-	// Tol is the relative residual target ||r|| <= Tol*||b||. Default 1e-8.
-	Tol float64
-	// MaxIter bounds iterations. Default 10*n (capped at 20000).
-	MaxIter int
-	// Precond, if non-nil, applies an SPD preconditioner dst = M^{-1} x.
-	Precond func(dst, x []float64)
-}
-
-func (o *CGOptions) withDefaults(n int) CGOptions {
-	out := CGOptions{Tol: 1e-8, MaxIter: 10 * n}
-	if out.MaxIter > 20000 {
-		out.MaxIter = 20000
-	}
-	if out.MaxIter < 50 {
-		out.MaxIter = 50
-	}
-	if o != nil {
-		if o.Tol > 0 {
-			out.Tol = o.Tol
-		}
-		if o.MaxIter > 0 {
-			out.MaxIter = o.MaxIter
-		}
-		out.Precond = o.Precond
-	}
-	return out
-}
+// ErrNoConvergence aliases the stack-wide sentinel so existing errors.Is
+// checks against the sparse package keep working.
+var ErrNoConvergence = solver.ErrNoConvergence
 
 // CGResult reports how a solve went.
 type CGResult struct {
@@ -56,12 +25,29 @@ type CGResult struct {
 // overwritten with the solution. For singular-but-consistent systems
 // (Laplacians with mean-zero b), wrap A in a ProjectedOperator and keep x
 // mean-zero.
-func CG(a Operator, x, b []float64, opts *CGOptions) (CGResult, error) {
+//
+// ctx is checked before any work and once per iteration; a cancelled or
+// expired context aborts the solve with a solver.ErrCancelled-wrapped error
+// and the partial iterate left in x. pre may be nil for no preconditioning.
+// Scratch comes from ws; pass nil to allocate a private workspace (cold
+// paths only).
+func CG(ctx context.Context, a Operator, x, b []float64, pre Preconditioner, ws *solver.Workspace, opts solver.Options) (CGResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := a.Dim()
 	if len(x) != n || len(b) != n {
 		return CGResult{}, fmt.Errorf("sparse: CG dimension mismatch x=%d b=%d n=%d", len(x), len(b), n)
 	}
-	o := opts.withDefaults(n)
+	if ws == nil {
+		ws = solver.NewWorkspace(n)
+	} else if ws.Dim() != n {
+		return CGResult{}, fmt.Errorf("sparse: CG workspace dim %d != n=%d", ws.Dim(), n)
+	}
+	if err := solver.CheckCancel(ctx); err != nil {
+		return CGResult{}, err
+	}
+	o := opts.WithDefaults(n)
 
 	normB := vecmath.Norm2(b)
 	if normB == 0 {
@@ -70,18 +56,20 @@ func CG(a Operator, x, b []float64, opts *CGOptions) (CGResult, error) {
 	}
 	target := o.Tol * normB
 
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	r := ws.Take()
+	z := ws.Take()
+	p := ws.Take()
+	ap := ws.Take()
 
 	// r = b - A x
 	a.Apply(r, x)
 	vecmath.Sub(r, b, r)
 
 	applyPrecond := func(dst, src []float64) {
-		if o.Precond != nil {
-			o.Precond(dst, src)
+		if pre != nil {
+			pre.Precond(dst, src)
 		} else {
 			copy(dst, src)
 		}
@@ -98,6 +86,9 @@ func CG(a Operator, x, b []float64, opts *CGOptions) (CGResult, error) {
 	}
 
 	for k := 0; k < o.MaxIter; k++ {
+		if err := solver.CheckCancel(ctx); err != nil {
+			return res, err
+		}
 		a.Apply(ap, p)
 		pap := vecmath.Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
@@ -128,23 +119,4 @@ func CG(a Operator, x, b []float64, opts *CGOptions) (CGResult, error) {
 		}
 	}
 	return res, ErrNoConvergence
-}
-
-// JacobiPrecond returns a diagonal (Jacobi) preconditioner closure for the
-// given diagonal. Zero diagonal entries (isolated nodes) pass through
-// unscaled.
-func JacobiPrecond(diag []float64) func(dst, x []float64) {
-	inv := make([]float64, len(diag))
-	for i, d := range diag {
-		if d > 0 {
-			inv[i] = 1 / d
-		} else {
-			inv[i] = 1
-		}
-	}
-	return func(dst, x []float64) {
-		for i := range dst {
-			dst[i] = inv[i] * x[i]
-		}
-	}
 }

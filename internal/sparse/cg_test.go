@@ -1,10 +1,12 @@
 package sparse
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
@@ -43,7 +45,7 @@ func TestCGSolvesSPDDense(t *testing.T) {
 	b := make([]float64, n)
 	vecmath.NewRNG(1).FillNormal(b)
 	x := make([]float64, n)
-	res, err := CG(op, x, b, nil)
+	res, err := CG(context.Background(), op, x, b, nil, nil, solver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func TestCGSolvesSPDDense(t *testing.T) {
 func TestCGZeroRHS(t *testing.T) {
 	op := &FuncOperator{N: 3, Fn: func(dst, x []float64) { copy(dst, x) }}
 	x := []float64{1, 2, 3}
-	res, err := CG(op, x, make([]float64, 3), nil)
+	res, err := CG(context.Background(), op, x, make([]float64, 3), nil, nil, solver.Options{})
 	if err != nil || !res.Converged {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}
@@ -72,7 +74,7 @@ func TestCGZeroRHS(t *testing.T) {
 
 func TestCGDimensionMismatch(t *testing.T) {
 	op := &FuncOperator{N: 3, Fn: func(dst, x []float64) { copy(dst, x) }}
-	if _, err := CG(op, make([]float64, 2), make([]float64, 3), nil); err == nil {
+	if _, err := CG(context.Background(), op, make([]float64, 2), make([]float64, 3), nil, nil, solver.Options{}); err == nil {
 		t.Fatal("expected dimension error")
 	}
 }
@@ -86,7 +88,7 @@ func TestCGBreakdownOnIndefinite(t *testing.T) {
 	}}
 	b := []float64{1, 0, 0, 0}
 	x := make([]float64, 4)
-	if _, err := CG(op, x, b, nil); err == nil {
+	if _, err := CG(context.Background(), op, x, b, nil, nil, solver.Options{}); err == nil {
 		t.Fatal("expected breakdown error")
 	}
 }
@@ -94,12 +96,12 @@ func TestCGBreakdownOnIndefinite(t *testing.T) {
 func TestCGIterationLimit(t *testing.T) {
 	// Force tiny iteration budget on a moderately conditioned problem.
 	g := gridGraph(20, 20)
-	s := NewLaplacianSolver(g, &CGOptions{MaxIter: 2, Tol: 1e-14}, 0)
+	s := NewLaplacianSolver(g, solver.Options{MaxIter: 2, Tol: 1e-14})
 	b := make([]float64, g.NumNodes())
 	vecmath.NewRNG(3).FillNormal(b)
 	vecmath.CenterMean(b)
 	dst := make([]float64, g.NumNodes())
-	if _, err := s.Solve(dst, b); err == nil {
+	if _, err := s.Solve(context.Background(), dst, b); err == nil {
 		t.Fatal("expected ErrNoConvergence with 2 iterations")
 	}
 }
@@ -107,7 +109,7 @@ func TestCGIterationLimit(t *testing.T) {
 func TestLaplacianSolverMatchesDenseOracle(t *testing.T) {
 	g := gridGraph(5, 4)
 	n := g.NumNodes()
-	s := NewLaplacianSolver(g, &CGOptions{Tol: 1e-12}, 0)
+	s := NewLaplacianSolver(g, solver.Options{Tol: 1e-12})
 	dense := DenseLaplacian(g)
 
 	r := vecmath.NewRNG(9)
@@ -120,7 +122,7 @@ func TestLaplacianSolverMatchesDenseOracle(t *testing.T) {
 			t.Fatal(err)
 		}
 		got := make([]float64, n)
-		if _, err := s.Solve(got, b); err != nil {
+		if _, err := s.Solve(context.Background(), got, b); err != nil {
 			t.Fatal(err)
 		}
 		for i := range want {
@@ -141,19 +143,19 @@ func TestSolvePairIsPathResistance(t *testing.T) {
 	for i, w := range ws {
 		g.AddEdge(i, i+1, w)
 	}
-	s := NewLaplacianSolver(g, &CGOptions{Tol: 1e-12}, 0)
+	s := NewLaplacianSolver(g, solver.Options{Tol: 1e-12})
 	want := 0.0
 	for _, w := range ws {
 		want += 1 / w
 	}
-	got, err := s.SolvePair(0, 4)
+	got, err := s.SolvePair(context.Background(), 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(got-want) > 1e-8 {
 		t.Fatalf("R(0,4) = %v, want %v", got, want)
 	}
-	if r, _ := s.SolvePair(2, 2); r != 0 {
+	if r, _ := s.SolvePair(context.Background(), 2, 2); r != 0 {
 		t.Fatalf("R(2,2) = %v", r)
 	}
 }
@@ -163,8 +165,8 @@ func TestSolvePairParallelEdges(t *testing.T) {
 	g := graph.New(2, 2)
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(0, 1, 1)
-	s := NewLaplacianSolver(g, &CGOptions{Tol: 1e-12}, 0)
-	got, err := s.SolvePair(0, 1)
+	s := NewLaplacianSolver(g, solver.Options{Tol: 1e-12})
+	got, err := s.SolvePair(context.Background(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,9 +176,9 @@ func TestSolvePairParallelEdges(t *testing.T) {
 }
 
 func TestJacobiPrecondZeroDiagonal(t *testing.T) {
-	p := JacobiPrecond([]float64{2, 0, 4})
+	p := NewJacobi([]float64{2, 0, 4})
 	dst := make([]float64, 3)
-	p(dst, []float64{2, 3, 8})
+	p.Precond(dst, []float64{2, 3, 8})
 	if dst[0] != 1 || dst[1] != 3 || dst[2] != 2 {
 		t.Fatalf("precond = %v", dst)
 	}
@@ -210,9 +212,9 @@ func TestJacobiSpeedsUpCG(t *testing.T) {
 	proj := &ProjectedOperator{Inner: lop}
 
 	xPlain := make([]float64, g.NumNodes())
-	plain, errPlain := CG(proj, xPlain, b, &CGOptions{Tol: 1e-10, MaxIter: 5000})
+	plain, errPlain := CG(context.Background(), proj, xPlain, b, nil, nil, solver.Options{Tol: 1e-10, MaxIter: 5000})
 	xPre := make([]float64, g.NumNodes())
-	pre, errPre := CG(proj, xPre, b, &CGOptions{Tol: 1e-10, MaxIter: 5000, Precond: JacobiPrecond(lop.Diagonal())})
+	pre, errPre := CG(context.Background(), proj, xPre, b, lop.Jacobi(), nil, solver.Options{Tol: 1e-10, MaxIter: 5000})
 	if errPlain != nil || errPre != nil {
 		t.Fatalf("plain err=%v pre err=%v", errPlain, errPre)
 	}

@@ -1,9 +1,11 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
@@ -13,14 +15,28 @@ import (
 // a sparsifier Laplacian) and therefore varies slightly from application to
 // application — exactly the setting of sparsifier-preconditioned solvers.
 //
-// x is the start guess and is overwritten. The preconditioner must be a
-// (possibly inexact) SPD-like map dst = M^{-1} src; pass nil for none.
-func FlexibleCG(a Operator, x, b []float64, precond func(dst, src []float64), opts *CGOptions) (CGResult, error) {
+// x is the start guess and is overwritten. pre must be a (possibly inexact)
+// SPD-like map; pass nil for none. ctx is checked once per iteration: a
+// cancelled or expired context aborts with a solver.ErrCancelled-wrapped
+// error and partial stats. Scratch comes from ws; pass nil to allocate a
+// private workspace (cold paths only).
+func FlexibleCG(ctx context.Context, a Operator, x, b []float64, pre Preconditioner, ws *solver.Workspace, opts solver.Options) (CGResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := a.Dim()
 	if len(x) != n || len(b) != n {
 		return CGResult{}, fmt.Errorf("sparse: FlexibleCG dimension mismatch x=%d b=%d n=%d", len(x), len(b), n)
 	}
-	o := opts.withDefaults(n)
+	if ws == nil {
+		ws = solver.NewWorkspace(n)
+	} else if ws.Dim() != n {
+		return CGResult{}, fmt.Errorf("sparse: FlexibleCG workspace dim %d != n=%d", ws.Dim(), n)
+	}
+	if err := solver.CheckCancel(ctx); err != nil {
+		return CGResult{}, err
+	}
+	o := opts.WithDefaults(n)
 
 	normB := vecmath.Norm2(b)
 	if normB == 0 {
@@ -29,18 +45,20 @@ func FlexibleCG(a Operator, x, b []float64, precond func(dst, src []float64), op
 	}
 	target := o.Tol * normB
 
-	r := make([]float64, n)
-	rPrev := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	mark := ws.Mark()
+	defer ws.Release(mark)
+	r := ws.Take()
+	rPrev := ws.Take()
+	z := ws.Take()
+	p := ws.Take()
+	ap := ws.Take()
 
 	a.Apply(r, x)
 	vecmath.Sub(r, b, r)
 
 	apply := func(dst, src []float64) {
-		if precond != nil {
-			precond(dst, src)
+		if pre != nil {
+			pre.Precond(dst, src)
 		} else {
 			copy(dst, src)
 		}
@@ -57,11 +75,20 @@ func FlexibleCG(a Operator, x, b []float64, precond func(dst, src []float64), op
 	}
 
 	for k := 0; k < o.MaxIter; k++ {
+		if err := solver.CheckCancel(ctx); err != nil {
+			return res, err
+		}
 		a.Apply(ap, p)
 		pap := vecmath.Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			res.Iterations = k
 			res.Residual = vecmath.Norm2(r) / normB
+			// A cancellation landing inside an iterative preconditioner
+			// leaves a zero/degenerate direction; report the cancellation,
+			// not a spurious breakdown.
+			if err := solver.CheckCancel(ctx); err != nil {
+				return res, err
+			}
 			return res, fmt.Errorf("sparse: FlexibleCG breakdown, p'Ap = %g at iteration %d", pap, k)
 		}
 		alpha := zr / pap
@@ -90,15 +117,15 @@ func FlexibleCG(a Operator, x, b []float64, precond func(dst, src []float64), op
 		}
 		zr = vecmath.Dot(z, r)
 		if zr <= 0 || math.IsNaN(zr) {
-			// Preconditioner stopped acting SPD; restart from steepest
-			// descent rather than aborting.
-			copy(p, z)
-			zr = vecmath.Dot(z, r)
-			if zr <= 0 {
-				res.Residual = rn / normB
-				return res, fmt.Errorf("sparse: FlexibleCG preconditioner not positive at iteration %d", k)
+			// The preconditioner stopped acting SPD (z'r must be positive
+			// for an SPD-like M^{-1}). A cancelled inner solve also lands
+			// here — it returns z = 0 before the next loop-top check — so
+			// classify that case as cancellation, not breakdown.
+			res.Residual = rn / normB
+			if err := solver.CheckCancel(ctx); err != nil {
+				return res, err
 			}
-			continue
+			return res, fmt.Errorf("sparse: FlexibleCG preconditioner not positive at iteration %d", k)
 		}
 		for i := range p {
 			p[i] = z[i] + beta*p[i]

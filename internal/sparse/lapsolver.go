@@ -1,64 +1,70 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
 // LaplacianSolver bundles a graph Laplacian with a Jacobi-preconditioned CG
-// configuration and reusable scratch space, so the many repeated solves
-// issued by resistance queries and condition-number pencils avoid
-// per-solve allocation.
+// configuration. Scratch for every solve is checked out of the underlying
+// operator's workspace pool per call, so the many repeated solves issued by
+// resistance queries and condition-number pencils run allocation-free once
+// the pool is warm.
 //
 // All solves are performed in the orthogonal complement of the all-ones
 // vector: right-hand sides are mean-centered on entry and solutions are
 // mean-centered on exit, which is exactly the pseudo-inverse action
 // x = L^+ b for a connected graph.
+//
+// The solver handle itself is goroutine-confined (it carries counters);
+// many handles can share one LapOperator.
 type LaplacianSolver struct {
-	op      *ProjectedOperator
-	precond func(dst, x []float64)
-	opts    CGOptions
-	n       int
+	op   *ProjectedOperator
+	jac  *Jacobi
+	pool *solver.Pool
+	opts solver.Options
+	n    int
 
 	// Solve statistics, accumulated across calls.
 	Solves     int
 	TotalIters int
-
-	rhs []float64
-	sol []float64
 }
 
-// NewLaplacianSolver freezes g and prepares a solver. opts may be nil for
-// defaults (tol 1e-8). Workers > 1 enables parallel Laplacian application.
-func NewLaplacianSolver(g *graph.Graph, opts *CGOptions, workers int) *LaplacianSolver {
+// NewLaplacianSolver freezes g and prepares a solver. A zero opts means
+// defaults (tol 1e-8); opts.Workers > 1 enables parallel Laplacian
+// application.
+func NewLaplacianSolver(g *graph.Graph, opts solver.Options) *LaplacianSolver {
 	lop := NewLapOperator(g)
-	lop.Workers = workers
+	lop.Workers = opts.Workers
 	return NewLaplacianSolverFromOperator(lop, opts)
 }
 
 // NewLaplacianSolverFromOperator prepares a solver around an already-frozen
 // Laplacian operator, skipping the O(N+E) CSR construction. The returned
-// solver owns only its scratch vectors, so many solvers can share one
-// operator: that is how the service layer hands each concurrent reader a
-// private solve handle over a single per-snapshot factorization.
-func NewLaplacianSolverFromOperator(lop *LapOperator, opts *CGOptions) *LaplacianSolver {
+// solver shares the operator's Jacobi preconditioner and workspace pool, so
+// many goroutine-confined solvers can share one operator: that is how the
+// service layer hands each concurrent reader a private solve handle over a
+// single per-snapshot factorization.
+func NewLaplacianSolverFromOperator(lop *LapOperator, opts solver.Options) *LaplacianSolver {
 	n := lop.Dim()
-	s := &LaplacianSolver{
-		op:      &ProjectedOperator{Inner: lop},
-		precond: JacobiPrecond(lop.Diagonal()),
-		opts:    opts.withDefaults(n),
-		n:       n,
+	return &LaplacianSolver{
+		op:   &ProjectedOperator{Inner: lop},
+		jac:  lop.Jacobi(),
+		pool: lop.Workspaces(),
+		opts: opts.WithDefaults(n),
+		n:    n,
 	}
-	s.opts.Precond = s.precond
-	s.rhs = make([]float64, s.n)
-	s.sol = make([]float64, s.n)
-	return s
 }
 
 // Dim returns the system dimension.
 func (s *LaplacianSolver) Dim() int { return s.n }
+
+// Options returns the solver's effective (defaults-applied) options.
+func (s *LaplacianSolver) Options() solver.Options { return s.opts }
 
 // ApplyLap computes dst = L x using the solver's frozen Laplacian (the
 // forward operator, not its pseudo-inverse). Pencil estimators need both
@@ -67,19 +73,22 @@ func (s *LaplacianSolver) ApplyLap(dst, x []float64) {
 	s.op.Inner.Apply(dst, x)
 }
 
-// Solve computes x = L^+ b into dst. b is not modified. dst, b must have
-// length Dim(). Returns the CG diagnostics; ErrNoConvergence is reported
-// but dst still holds the best iterate.
-func (s *LaplacianSolver) Solve(dst, b []float64) (CGResult, error) {
+// Solve computes x = L^+ b into dst. b is not modified (dst may alias b).
+// dst, b must have length Dim(). Returns the CG diagnostics;
+// solver.ErrNoConvergence is reported but dst still holds the best iterate,
+// and a cancelled ctx aborts with a solver.ErrCancelled-wrapped error.
+func (s *LaplacianSolver) Solve(ctx context.Context, dst, b []float64) (CGResult, error) {
 	if len(dst) != s.n || len(b) != s.n {
 		return CGResult{}, fmt.Errorf("sparse: Solve dims dst=%d b=%d n=%d", len(dst), len(b), s.n)
 	}
-	copy(s.rhs, b)
-	vecmath.CenterMean(s.rhs)
-	vecmath.Zero(s.sol)
-	res, err := CG(s.op, s.sol, s.rhs, &s.opts)
-	vecmath.CenterMean(s.sol)
-	copy(dst, s.sol)
+	ws := s.pool.Get()
+	defer s.pool.Put(ws)
+	rhs := ws.Take()
+	copy(rhs, b)
+	vecmath.CenterMean(rhs)
+	vecmath.Zero(dst)
+	res, err := CG(ctx, s.op, dst, rhs, s.jac, ws, s.opts)
+	vecmath.CenterMean(dst)
 	s.Solves++
 	s.TotalIters += res.Iterations
 	return res, err
@@ -87,17 +96,18 @@ func (s *LaplacianSolver) Solve(dst, b []float64) (CGResult, error) {
 
 // SolvePair computes the potential difference x_p - x_q where x = L^+ b_pq.
 // This is exactly the effective resistance between p and q.
-func (s *LaplacianSolver) SolvePair(p, q int) (float64, error) {
+func (s *LaplacianSolver) SolvePair(ctx context.Context, p, q int) (float64, error) {
 	if p == q {
 		return 0, nil
 	}
-	vecmath.Basis(s.rhs, p, q)
-	vecmath.CenterMean(s.rhs)
-	vecmath.Zero(s.sol)
-	_, err := CG(s.op, s.sol, s.rhs, &s.opts)
+	ws := s.pool.Get()
+	defer s.pool.Put(ws)
+	rhs := ws.Take()
+	sol := ws.Take()
+	vecmath.Basis(rhs, p, q)
+	vecmath.CenterMean(rhs)
+	vecmath.Zero(sol)
+	_, err := CG(ctx, s.op, sol, rhs, s.jac, ws, s.opts)
 	s.Solves++
-	if err != nil {
-		return s.sol[p] - s.sol[q], err
-	}
-	return s.sol[p] - s.sol[q], nil
+	return sol[p] - sol[q], err
 }

@@ -4,10 +4,15 @@
 // orthogonal complement of the constant vector (a connected Laplacian's
 // null space). Exact effective resistances and condition-number estimates
 // are computed through these solvers.
+//
+// Every solve entry point takes the request-scoped contract from
+// internal/solver: a context (checked once per iteration), a unified
+// solver.Options, and a pooled solver.Workspace for scratch vectors.
 package sparse
 
 import (
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
@@ -19,16 +24,61 @@ type Operator interface {
 	Apply(dst, x []float64)
 }
 
+// Preconditioner applies an SPD-like map dst = M^{-1} src. Implementations
+// used on the hot path are pointer types so passing them through interface
+// values never allocates.
+type Preconditioner interface {
+	Precond(dst, src []float64)
+}
+
+// PrecondFunc adapts a closure to the Preconditioner interface.
+type PrecondFunc func(dst, src []float64)
+
+// Precond invokes the closure.
+func (f PrecondFunc) Precond(dst, src []float64) { f(dst, src) }
+
+// Jacobi is a diagonal preconditioner. Zero diagonal entries (isolated
+// nodes) pass through unscaled.
+type Jacobi struct {
+	inv []float64
+}
+
+// NewJacobi builds the diagonal preconditioner for the given diagonal.
+func NewJacobi(diag []float64) *Jacobi {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if d > 0 {
+			inv[i] = 1 / d
+		} else {
+			inv[i] = 1
+		}
+	}
+	return &Jacobi{inv: inv}
+}
+
+// Precond computes dst = D^{-1} src.
+func (j *Jacobi) Precond(dst, src []float64) {
+	for i := range dst {
+		dst[i] = j.inv[i] * src[i]
+	}
+}
+
 // LapOperator wraps a CSR graph view as its Laplacian operator, optionally
-// applying rows in parallel.
+// applying rows in parallel. NewLapOperator also freezes the operator's
+// Jacobi preconditioner and owns the workspace pool that all solves against
+// this operator draw scratch from.
 type LapOperator struct {
 	CSR     *graph.CSR
 	Workers int // <=1 means serial
+
+	jac  *Jacobi
+	pool *solver.Pool
 }
 
 // NewLapOperator freezes g and returns its Laplacian operator.
 func NewLapOperator(g *graph.Graph) *LapOperator {
-	return &LapOperator{CSR: graph.NewCSR(g)}
+	csr := graph.NewCSR(g)
+	return &LapOperator{CSR: csr, jac: NewJacobi(csr.Degree), pool: solver.NewPool(csr.N)}
 }
 
 // Dim returns the node count.
@@ -46,6 +96,14 @@ func (l *LapOperator) Apply(dst, x []float64) {
 // Diagonal returns the Laplacian diagonal (weighted degrees), which the
 // Jacobi preconditioner consumes.
 func (l *LapOperator) Diagonal() []float64 { return l.CSR.Degree }
+
+// Jacobi returns the operator's frozen diagonal preconditioner.
+func (l *LapOperator) Jacobi() *Jacobi { return l.jac }
+
+// Workspaces returns the operator's scratch pool (vectors of length Dim).
+// The pool is safe for concurrent use; each checked-out workspace is
+// confined to one solve call tree.
+func (l *LapOperator) Workspaces() *solver.Pool { return l.pool }
 
 // ProjectedOperator wraps an operator with pre/post projection onto the
 // complement of the all-ones vector, making a singular Laplacian behave as

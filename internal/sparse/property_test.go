@@ -1,11 +1,13 @@
 package sparse
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
 
@@ -30,13 +32,13 @@ func randomConnectedGraph(seed uint64, n, extra int) *graph.Graph {
 func TestSolverPseudoInverseProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		g := randomConnectedGraph(seed, 25, 40)
-		s := NewLaplacianSolver(g, &CGOptions{Tol: 1e-11}, 0)
+		s := NewLaplacianSolver(g, solver.Options{Tol: 1e-11})
 		r := vecmath.NewRNG(seed ^ 0x5)
 		b := make([]float64, 25)
 		r.FillNormal(b)
 		vecmath.CenterMean(b)
 		x := make([]float64, 25)
-		if _, err := s.Solve(x, b); err != nil {
+		if _, err := s.Solve(context.Background(), x, b); err != nil {
 			return false
 		}
 		if math.Abs(vecmath.Sum(x)) > 1e-6*(1+vecmath.NormInf(x)) {
@@ -57,12 +59,12 @@ func TestSolverPseudoInverseProperty(t *testing.T) {
 func TestSolvePairSymmetryProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		g := randomConnectedGraph(seed, 20, 30)
-		s := NewLaplacianSolver(g, &CGOptions{Tol: 1e-11}, 0)
+		s := NewLaplacianSolver(g, solver.Options{Tol: 1e-11})
 		r := vecmath.NewRNG(seed ^ 0x9)
 		for k := 0; k < 8; k++ {
 			p, q := r.Intn(20), r.Intn(20)
-			a, err1 := s.SolvePair(p, q)
-			b, err2 := s.SolvePair(q, p)
+			a, err1 := s.SolvePair(context.Background(), p, q)
+			b, err2 := s.SolvePair(context.Background(), q, p)
 			if err1 != nil || err2 != nil {
 				return false
 			}
@@ -107,11 +109,11 @@ func TestCGAgainstDenseOracleProperty(t *testing.T) {
 		}
 
 		x1 := make([]float64, 15)
-		if _, err := CG(op, x1, b, &CGOptions{Tol: 1e-12}); err != nil {
+		if _, err := CG(context.Background(), op, x1, b, nil, nil, solver.Options{Tol: 1e-12}); err != nil {
 			return false
 		}
 		x2 := make([]float64, 15)
-		if _, err := FlexibleCG(op, x2, b, nil, &CGOptions{Tol: 1e-12}); err != nil {
+		if _, err := FlexibleCG(context.Background(), op, x2, b, nil, nil, solver.Options{Tol: 1e-12}); err != nil {
 			return false
 		}
 		for i := range want {

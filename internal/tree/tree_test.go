@@ -1,11 +1,13 @@
 package tree
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
 )
@@ -282,14 +284,14 @@ func TestTreeResistanceUpperBoundsEffective(t *testing.T) {
 	g := randomConnected(25, 40, 21)
 	st := MaxWeight(g)
 	o := NewPathOracle(st)
-	solver := sparse.NewLaplacianSolver(g, &sparse.CGOptions{Tol: 1e-11}, 0)
+	lap := sparse.NewLaplacianSolver(g, solver.Options{Tol: 1e-11})
 	r := vecmath.NewRNG(6)
 	for trial := 0; trial < 20; trial++ {
 		u, v := r.Intn(25), r.Intn(25)
 		if u == v {
 			continue
 		}
-		exact, err := solver.SolvePair(u, v)
+		exact, err := lap.SolvePair(context.Background(), u, v)
 		if err != nil {
 			t.Fatal(err)
 		}

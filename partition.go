@@ -1,6 +1,8 @@
 package ingrass
 
 import (
+	"context"
+
 	"ingrass/internal/partition"
 )
 
@@ -19,7 +21,7 @@ type Partition struct {
 // downstream applications spectral sparsifiers accelerate. g must be
 // connected.
 func SpectralBisect(g *Graph, seed uint64) (*Partition, error) {
-	b, err := partition.Bisect(g.g, partition.Options{Seed: seed})
+	b, err := partition.Bisect(context.Background(), g.g, partition.Options{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +33,7 @@ func SpectralBisect(g *Graph, seed uint64) (*Partition, error) {
 // evaluated against g's true edge weights. The partition quality tracks the
 // full-graph bisection whenever kappa(L_G, L_H) is small.
 func SpectralBisectSparsified(g, h *Graph, seed uint64) (*Partition, error) {
-	b, err := partition.BisectWithSparsifier(g.g, h.g, partition.Options{Seed: seed})
+	b, err := partition.BisectWithSparsifier(context.Background(), g.g, h.g, partition.Options{Seed: seed})
 	if err != nil {
 		return nil, err
 	}

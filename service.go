@@ -8,7 +8,6 @@ import (
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
 	"ingrass/internal/grass"
-	"ingrass/internal/precond"
 	"ingrass/internal/service"
 )
 
@@ -29,6 +28,10 @@ type ServiceOptions struct {
 	// RetainSnapshots is how many recent generations stay addressable
 	// (default 4).
 	RetainSnapshots int
+	// Solve is the engine-level default solve option set (tolerances,
+	// iteration budgets, inner-solve knobs). Per-request SolveOptions
+	// override it field-wise; Workers defaults to Options.Workers.
+	Solve SolveOptions
 }
 
 // Service is the concurrent counterpart of Incremental: a long-lived engine
@@ -65,12 +68,16 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	sopts := opts.Solve.internal()
+	if sopts.Workers <= 0 {
+		sopts.Workers = o.Workers
+	}
 	eng := service.New(sp, service.Options{
 		MaxBatch:      opts.MaxBatch,
 		FlushInterval: opts.FlushInterval,
 		QueueCapacity: opts.QueueCapacity,
 		Retain:        opts.RetainSnapshots,
-		Precond:       precond.Options{Workers: o.Workers},
+		Solver:        sopts,
 	})
 	return &Service{eng: eng}, nil
 }
@@ -165,30 +172,48 @@ func (s *Service) DeleteEdges(ctx context.Context, edges []Edge) (WriteResult, e
 
 // Solve computes x = L_G^+ b against the current snapshot. Safe for
 // concurrent use; the returned stats carry the generation that served the
-// solve.
-func (s *Service) Solve(b []float64, tol float64) ([]float64, SolveStats, error) {
-	x, st, err := s.eng.Current().Solve(b, tol)
-	return x, SolveStats{
+// solve. opts overrides the engine defaults field-wise for this request
+// (a zero opts means engine defaults). ctx cancellation or deadline expiry
+// aborts the solve within one outer iteration with an error matching
+// ErrCancelled; ErrNoConvergence reports an exhausted iteration budget.
+// Partial stats accompany both.
+func (s *Service) Solve(ctx context.Context, b []float64, opts SolveOptions) ([]float64, SolveStats, error) {
+	x, st, err := s.eng.Current().Solve(ctx, b, opts.internal())
+	return x, fromInternalSolveStats(st), err
+}
+
+// SolveInto is Solve writing the solution into the caller-provided x
+// (len(x) == len(b)). The warm path performs no allocation: all scratch
+// comes from the snapshot's pooled workspaces, which is what keeps
+// steady-state solve throughput garbage-free under heavy traffic.
+func (s *Service) SolveInto(ctx context.Context, x, b []float64, opts SolveOptions) (SolveStats, error) {
+	st, err := s.eng.Current().SolveInto(ctx, x, b, opts.internal())
+	return fromInternalSolveStats(st), err
+}
+
+func fromInternalSolveStats(st service.SolveStats) SolveStats {
+	return SolveStats{
 		Iterations:  st.Iterations,
 		Residual:    st.Residual,
 		Converged:   st.Converged,
 		PrecondUses: st.PrecondUses,
 		Generation:  st.Generation,
-	}, err
+	}
 }
 
 // EffectiveResistance computes the effective resistance between u and v on
 // the current snapshot's original graph, returning the generation that
-// served the query.
-func (s *Service) EffectiveResistance(u, v int) (float64, uint64, error) {
+// served the query. ctx cancellation aborts the underlying solve.
+func (s *Service) EffectiveResistance(ctx context.Context, u, v int) (float64, uint64, error) {
 	snap := s.eng.Current()
-	r, err := snap.EffectiveResistance(u, v)
+	r, err := snap.EffectiveResistance(ctx, u, v)
 	return r, snap.Gen, err
 }
 
-// ConditionNumber estimates kappa(L_G, L_H) for the current snapshot.
-func (s *Service) ConditionNumber(seed uint64) (float64, error) {
-	return s.eng.Current().ConditionNumber(seed)
+// ConditionNumber estimates kappa(L_G, L_H) for the current snapshot. ctx
+// cancellation aborts the power iteration between steps.
+func (s *Service) ConditionNumber(ctx context.Context, seed uint64) (float64, error) {
+	return s.eng.Current().ConditionNumber(ctx, seed)
 }
 
 // SparsifierSnapshot returns the current generation's sparsifier H and its

@@ -66,7 +66,7 @@ func TestServiceWriteReadCycle(t *testing.T) {
 	for i := range b {
 		b[i] = math.Sin(float64(i))
 	}
-	x, st, err := svc.Solve(b, 1e-8)
+	x, st, err := svc.Solve(context.Background(), b, SolveOptions{Tol: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +81,11 @@ func TestServiceWriteReadCycle(t *testing.T) {
 		t.Fatalf("solution not mean-zero: %v", mean)
 	}
 
-	r, rGen, err := svc.EffectiveResistance(0, 1)
+	r, rGen, err := svc.EffectiveResistance(context.Background(), 0, 1)
 	if err != nil || !(r > 0) || rGen != gen {
 		t.Fatalf("resistance %v at gen %d, %v", r, rGen, err)
 	}
-	k, err := svc.ConditionNumber(1)
+	k, err := svc.ConditionNumber(context.Background(), 1)
 	if err != nil || k < 1 {
 		t.Fatalf("kappa %v, %v", k, err)
 	}
@@ -219,7 +219,7 @@ func TestServiceConcurrentMixedLoad(t *testing.T) {
 				b[i] = math.Cos(float64(id + i))
 			}
 			for k := 0; k < 6; k++ {
-				if _, st, err := svc.Solve(b, 1e-6); err != nil || !st.Converged {
+				if _, st, err := svc.Solve(context.Background(), b, SolveOptions{Tol: 1e-6}); err != nil || !st.Converged {
 					errs <- err
 					return
 				}

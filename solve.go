@@ -1,25 +1,61 @@
 package ingrass
 
 import (
+	"context"
 	"fmt"
 
 	"ingrass/internal/precond"
-	"ingrass/internal/sparse"
+	"ingrass/internal/solver"
 )
+
+// SolveOptions is the request-scoped knob set for Laplacian solves. A zero
+// value means "all defaults". The same struct configures the outer flexible
+// CG (Tol, MaxIter) and the preconditioner's truncated inner solve
+// (InnerTol, InnerIters); it flows unchanged from the public API down to
+// the innermost CG loop. The HTTP layer defines its own wire struct
+// (cmd/ingrass solveRequest) because not every field is HTTP-settable.
+type SolveOptions struct {
+	// Tol is the relative residual target ||r|| <= Tol*||b||. Default 1e-8.
+	Tol float64
+	// MaxIter bounds outer iterations. 0 derives 10*n clamped to 20000; an
+	// explicit value is used verbatim, never clamped.
+	MaxIter int
+	// InnerTol is the preconditioner's inner relative-residual target.
+	// Default 1e-2.
+	InnerTol float64
+	// InnerIters caps inner iterations per preconditioner application.
+	// Default 25.
+	InnerIters int
+	// Workers bounds goroutines for parallel Laplacian application. It is
+	// honored where an operator is built for this call (SolveLaplacian) and
+	// ignored on shared, already-frozen factorizations (Service solves),
+	// which is why the HTTP layer does not expose it.
+	Workers int
+}
+
+func (o SolveOptions) internal() solver.Options {
+	return solver.Options{
+		Tol:        o.Tol,
+		MaxIter:    o.MaxIter,
+		InnerTol:   o.InnerTol,
+		InnerIters: o.InnerIters,
+		Workers:    o.Workers,
+	}
+}
 
 // SolveStats reports a preconditioned Laplacian solve.
 type SolveStats struct {
 	// Iterations is the outer FCG iteration count.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// Residual is the final relative residual.
-	Residual float64
+	Residual float64 `json:"residual"`
 	// Converged reports whether the tolerance was met.
-	Converged bool
+	Converged bool `json:"converged"`
 	// PrecondUses counts inner sparsifier solves.
-	PrecondUses int
+	PrecondUses int `json:"precond_uses"`
 	// Generation is the snapshot generation that served the solve. Only
 	// set by Service.Solve; standalone SolveLaplacian leaves it zero.
-	Generation uint64
+	Generation uint64 `json:"generation"`
 }
 
 // SolveLaplacian solves the Laplacian system L_G x = b using flexible
@@ -29,22 +65,23 @@ type SolveStats struct {
 // system is singular with the constant null space); it is centered
 // internally, and the returned solution is mean-zero.
 //
-// tol is the relative residual target (0 means 1e-8). Pass the live
-// sparsifier of an Incremental to keep solve cost tracking the evolving
-// graph.
-func SolveLaplacian(g, h *Graph, b []float64, tol float64) ([]float64, SolveStats, error) {
+// ctx cancellation or deadline expiry aborts the solve within one outer
+// iteration; the error matches ErrCancelled via errors.Is and partial
+// stats are returned. A solve that exhausts opts.MaxIter returns the best
+// iterate alongside ErrNoConvergence.
+func SolveLaplacian(ctx context.Context, g, h *Graph, b []float64, opts SolveOptions) ([]float64, SolveStats, error) {
 	if len(b) != g.NumNodes() {
 		return nil, SolveStats{}, fmt.Errorf("ingrass: rhs length %d != %d nodes", len(b), g.NumNodes())
 	}
 	if h.NumNodes() != g.NumNodes() {
 		return nil, SolveStats{}, fmt.Errorf("ingrass: sparsifier node count mismatch")
 	}
-	p, err := precond.New(h.g, precond.Options{})
+	fact, err := precond.Factorize(h.g, opts.internal())
 	if err != nil {
 		return nil, SolveStats{}, err
 	}
 	x := make([]float64, g.NumNodes())
-	res, err := p.Solve(g.g, x, b, &sparse.CGOptions{Tol: tol})
+	res, err := fact.SolveGraph(ctx, g.g, x, b, opts.internal())
 	stats := SolveStats{
 		Iterations:  res.Outer.Iterations,
 		Residual:    res.Outer.Residual,

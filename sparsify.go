@@ -1,6 +1,7 @@
 package ingrass
 
 import (
+	"context"
 	"fmt"
 
 	"ingrass/internal/cond"
@@ -238,7 +239,7 @@ func (inc *Incremental) Resparsify() error { return inc.inner.Resparsify() }
 // a subgraph sparsifier it is exactly 1). Use ConditionNumberBounds for
 // the two-sided pencil.
 func ConditionNumber(g, h *Graph, seed uint64) (float64, error) {
-	res, err := cond.Estimate(g.g, h.g, cond.Options{Seed: seed, LambdaMaxOnly: true})
+	res, err := cond.Estimate(context.Background(), g.g, h.g, cond.Options{Seed: seed, LambdaMaxOnly: true})
 	if err != nil {
 		return 0, err
 	}
@@ -250,7 +251,7 @@ func ConditionNumber(g, h *Graph, seed uint64) (float64, error) {
 // kappa = lambdaMax/lambdaMin). A weight-adjusted sparsifier can have
 // lambdaMin < 1, which this two-sided estimate exposes.
 func ConditionNumberBounds(g, h *Graph, seed uint64) (lambdaMax, lambdaMin, kappa float64, err error) {
-	res, err := cond.Estimate(g.g, h.g, cond.Options{Seed: seed})
+	res, err := cond.Estimate(context.Background(), g.g, h.g, cond.Options{Seed: seed})
 	if err != nil {
 		return 0, 0, 0, err
 	}
