@@ -14,9 +14,23 @@
 //	ingrass solve -in graph.txt -rhs b.txt [-sparsifier sparse.txt] [-out x.txt]
 //
 // Serve the concurrent sparsifier service over HTTP (batched writes,
-// snapshot-isolated reads):
+// snapshot-isolated reads). With -data-dir the server is durable: writes
+// are logged to a write-ahead log before they become visible, state is
+// checkpointed periodically and on shutdown, and a restart recovers the
+// exact pre-crash generation:
 //
-//	ingrass serve -in graph.txt -addr :8080 -density 0.1
+//	ingrass serve -in graph.txt -addr :8080 -density 0.1 \
+//	       [-data-dir d/ -fsync always -checkpoint-every 5m]
+//
+// Initialize a durable data directory without serving (setup runs once,
+// every later start recovers instead):
+//
+//	ingrass save -in graph.txt -data-dir d/
+//
+// Recover a data directory, inspect it, and optionally verify a solve or
+// export the recovered graphs:
+//
+//	ingrass load -data-dir d/ [-verify] [-export-h h.txt] [-export-g g.txt]
 //
 // Graph files use the text edge-list format ("N M" header then "u v w"
 // lines; '#' comments). The stream file is a headerless list of "u v w"
@@ -49,6 +63,10 @@ func main() {
 		cmdSolve(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "save":
+		cmdSave(os.Args[2:])
+	case "load":
+		cmdLoad(os.Args[2:])
 	case "info":
 		cmdInfo(os.Args[2:])
 	default:
@@ -64,6 +82,8 @@ commands:
   update     incrementally maintain a sparsifier over an edge stream
   solve      solve the Laplacian system L x = b with a sparsifier preconditioner
   serve      run the concurrent sparsifier service over HTTP
+  save       initialize a durable data directory from a graph (setup + checkpoint)
+  load       recover a data directory; inspect, verify, or export the state
   info       print graph statistics`)
 	os.Exit(2)
 }

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"ingrass"
@@ -16,23 +18,30 @@ import (
 
 // cmdServe runs the HTTP front-end over a Service: snapshot-isolated reads
 // and batched asynchronous writes against a live incremental sparsifier.
+//
+// With --data-dir the server is durable: a directory that already holds
+// state is recovered (checkpoint + WAL replay; -in is then ignored), an
+// empty one is initialized from the -in graph. Every applied write batch is
+// logged before it becomes visible, --checkpoint-every drives periodic
+// checkpoints while serving, and SIGINT/SIGTERM triggers a final checkpoint
+// before exit so the next start replays an empty WAL tail.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	in := fs.String("in", "", "input graph file (required)")
+	in := fs.String("in", "", "input graph file (required unless -data-dir holds state)")
 	addr := fs.String("addr", ":8080", "listen address")
 	density := fs.Float64("density", 0.1, "initial sparsifier density")
 	target := fs.Float64("target", 0, "target condition number (0 = default)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	maxBatch := fs.Int("max-batch", 128, "flush the write batch at this many edges")
 	flushEvery := fs.Duration("flush-interval", 2*time.Millisecond, "flush a non-empty batch after this interval")
+	dataDir := fs.String("data-dir", "", "durable data directory (empty = in-memory only)")
+	fsyncMode := fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
+	fsyncEvery := fs.Duration("fsync-every", 100*time.Millisecond, "flush interval for -fsync=interval")
+	segmentBytes := fs.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
+	ckptEvery := fs.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval with -data-dir (0 = only on shutdown)")
 	_ = fs.Parse(args)
-	if *in == "" {
-		fs.Usage()
-		os.Exit(2)
-	}
-	g := loadGraph(*in)
-	start := time.Now()
-	svc, err := ingrass.NewService(g, ingrass.ServiceOptions{
+
+	opts := ingrass.ServiceOptions{
 		Options: ingrass.Options{
 			InitialDensity: *density,
 			TargetCond:     *target,
@@ -40,17 +49,104 @@ func cmdServe(args []string) {
 		},
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flushEvery,
-	})
-	if err != nil {
-		fatal(err)
+		DataDir:       *dataDir,
+		FsyncEvery:    *fsyncEvery,
+		SegmentBytes:  *segmentBytes,
+	}
+	if *dataDir != "" {
+		policy, err := ingrass.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Fsync = policy
+	}
+
+	start := time.Now()
+	var svc *ingrass.Service
+	switch {
+	case *dataDir != "":
+		var err error
+		svc, err = ingrass.LoadService(opts)
+		switch {
+		case err == nil:
+			if *in != "" {
+				fmt.Fprintf(os.Stderr, "ingrass: -data-dir %s holds state; ignoring -in %s\n", *dataDir, *in)
+			}
+			fmt.Printf("recovered %s: generation %d (%v)\n",
+				*dataDir, svc.Generation(), time.Since(start).Round(time.Millisecond))
+		case errors.Is(err, ingrass.ErrNoCheckpoint):
+			if *in == "" {
+				fatal(fmt.Errorf("-data-dir %s holds no state and no -in graph was given", *dataDir))
+			}
+			svc, err = ingrass.NewService(loadGraph(*in), opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("initialized %s from %s (%v)\n",
+				*dataDir, *in, time.Since(start).Round(time.Millisecond))
+		default:
+			fatal(err)
+		}
+	case *in != "":
+		var err error
+		svc, err = ingrass.NewService(loadGraph(*in), opts)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fs.Usage()
+		os.Exit(2)
 	}
 	defer svc.Close()
+
 	st := svc.Stats()
-	fmt.Printf("serving %s: %d nodes, %d edges, sparsifier %d edges (setup %v)\n",
-		*in, st.Nodes, st.GraphEdges, st.SparsifierEdges, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("serving: %d nodes, %d edges, sparsifier %d edges, generation %d\n",
+		st.Nodes, st.GraphEdges, st.SparsifierEdges, st.Generation)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic checkpoints bound the WAL tail a restart must replay.
+	if *dataDir != "" && *ckptEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*ckptEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if gen, err := svc.Checkpoint(); err != nil {
+						fmt.Fprintf(os.Stderr, "ingrass: periodic checkpoint: %v\n", err)
+					} else {
+						fmt.Printf("checkpoint at generation %d\n", gen)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	server := &http.Server{Addr: *addr, Handler: newServeMux(svc)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
 	fmt.Printf("listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, newServeMux(svc)); err != nil {
+
+	select {
+	case err := <-errCh:
 		fatal(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = server.Shutdown(shutCtx)
+		if *dataDir != "" {
+			if gen, err := svc.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "ingrass: final checkpoint: %v\n", err)
+			} else {
+				fmt.Printf("final checkpoint at generation %d\n", gen)
+			}
+		}
 	}
 }
 
@@ -147,17 +243,31 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 		return edges, true
 	}
 
+	// writeResult reports a write outcome. ErrNotDurable is NOT a
+	// rejection: the write is applied and visible (retrying would apply it
+	// twice), it just isn't crash-safe until the next checkpoint — so the
+	// valid result goes out with a warning instead of an error status.
+	writeResult := func(w http.ResponseWriter, res ingrass.WriteResult, err error) {
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, res)
+		case errors.Is(err, ingrass.ErrNotDurable):
+			writeJSON(w, http.StatusOK, struct {
+				ingrass.WriteResult
+				Warning string `json:"warning"`
+			}{res, err.Error()})
+		default:
+			writeError(w, http.StatusUnprocessableEntity, err)
+		}
+	}
+
 	mux.HandleFunc("POST /edges", func(w http.ResponseWriter, r *http.Request) {
 		edges, ok := decodeEdges(w, r)
 		if !ok {
 			return
 		}
 		res, err := svc.AddEdges(r.Context(), edges)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
+		writeResult(w, res, err)
 	})
 
 	mux.HandleFunc("DELETE /edges", func(w http.ResponseWriter, r *http.Request) {
@@ -166,11 +276,7 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			return
 		}
 		res, err := svc.DeleteEdges(r.Context(), edges)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
+		writeResult(w, res, err)
 	})
 
 	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {

@@ -35,6 +35,17 @@
 // (AddEdges, DeleteEdges) flow through a coalescing asynchronous batcher.
 // The same engine backs the HTTP front-end ("ingrass serve").
 //
+// # Durability
+//
+// With ServiceOptions.DataDir set, the service persists itself: every
+// applied write batch is appended to a write-ahead log before its
+// generation becomes visible, and Checkpoint captures the full state
+// without stalling traffic. LoadService resumes a data directory at the
+// exact generation the previous process reached — checkpoint plus WAL
+// replay, no GRASS setup — with bit-identical sparsifier state. See the
+// Example named "durability" for the full lifecycle and DESIGN.md for the
+// durability invariants.
+//
 // # Architecture
 //
 // The public API wraps internal packages, each a self-contained substrate:

@@ -1,6 +1,12 @@
 package ingrass
 
-import "ingrass/internal/solver"
+import (
+	"errors"
+
+	"ingrass/internal/service"
+	"ingrass/internal/solver"
+	"ingrass/internal/wal"
+)
 
 // Typed errors crossing every layer of the solver stack. Match them with
 // errors.Is; they survive wrapping through the internal packages.
@@ -13,4 +19,27 @@ var (
 	// deadline expiry. The error chain also matches the specific context
 	// error (context.Canceled or context.DeadlineExceeded).
 	ErrCancelled = solver.ErrCancelled
+)
+
+// Typed errors of the durability subsystem.
+var (
+	// ErrNotDurable accompanies an otherwise-successful write whose
+	// write-ahead-log append failed: the write IS applied and visible to
+	// readers (the WriteResult alongside is valid), but it would not
+	// survive a crash. The condition is sticky — later writes return it
+	// too — until a successful Checkpoint captures the full state and
+	// restores durability.
+	ErrNotDurable = service.ErrNotDurable
+	// ErrNoCheckpoint reports a LoadService against a data directory that
+	// holds no checkpoint (e.g. one never initialized by NewService).
+	ErrNoCheckpoint = wal.ErrNoCheckpoint
+	// ErrCorruptData reports unrecoverable damage in the data directory:
+	// a failed CRC anywhere other than the torn tail of the final WAL
+	// segment (which is repaired silently, since the write it carried was
+	// never acknowledged).
+	ErrCorruptData = wal.ErrCorrupt
+	// ErrDataDirNotEmpty reports a NewService whose DataDir already holds
+	// durable state; resume it with LoadService (or point NewService at a
+	// fresh directory).
+	ErrDataDirNotEmpty = errors.New("ingrass: data directory already holds state; use LoadService")
 )

@@ -1,0 +1,85 @@
+package ingrass_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"ingrass"
+)
+
+// Example_durability walks the durable service lifecycle end to end: start
+// a service with a data directory, apply writes (each batch is logged to
+// the write-ahead log before its generation becomes visible), take an
+// explicit checkpoint, apply more writes on top of it, stop the process,
+// and reload — the restarted service resumes at the exact generation the
+// first one reached, without re-running GRASS setup.
+func Example_durability() {
+	dir, err := os.MkdirTemp("", "ingrass-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A 4x4 grid graph.
+	g := ingrass.NewGraph(16)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if j+1 < 4 {
+				g.AddEdge(4*i+j, 4*i+j+1, 1)
+			}
+			if i+1 < 4 {
+				g.AddEdge(4*i+j, 4*(i+1)+j, 1)
+			}
+		}
+	}
+
+	opts := ingrass.ServiceOptions{
+		Options:  ingrass.Options{InitialDensity: 0.2, Seed: 1},
+		MaxBatch: 1, // flush (and log) every request individually
+		DataDir:  dir,
+	}
+	svc, err := ingrass.NewService(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := svc.AddEdges(ctx, []ingrass.Edge{{U: 0, V: 15, W: 2}, {U: 3, V: 12, W: 1}}); err != nil {
+		log.Fatal(err)
+	}
+	ckGen, err := svc.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// This write lives only in the WAL tail; recovery must replay it.
+	if _, err := svc.AddEdges(ctx, []ingrass.Edge{{U: 5, V: 10, W: 0.5}}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generation before restart: %d (checkpoint covers %d)\n", svc.Generation(), ckGen)
+	svc.Close()
+
+	re, err := ingrass.LoadService(ingrass.ServiceOptions{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	fmt.Printf("recovered generation: %d\n", re.Generation())
+	fmt.Printf("recovered graph: %d nodes, %d edges\n", st.Nodes, st.GraphEdges)
+
+	b := make([]float64, 16)
+	b[0], b[15] = 1, -1
+	_, stats, err := re.Solve(ctx, b, ingrass.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve on recovered state converged: %v\n", stats.Converged)
+
+	// Output:
+	// generation before restart: 2 (checkpoint covers 1)
+	// recovered generation: 2
+	// recovered graph: 16 nodes, 27 edges
+	// solve on recovered state converged: true
+}

@@ -119,6 +119,13 @@ type Sparsifier struct {
 	filterLevel int
 	stats       Stats
 
+	// hBase is a copy-on-write snapshot of H as it was when dec/sk were
+	// built (setup or the latest Resparsify/CompactDeleted). It is the
+	// replay basis for durable persistence: rebuilding the decomposition
+	// from hBase and re-registering H's later edges in index order
+	// reconstructs dec/sk exactly (see persist.go).
+	hBase *graph.Graph
+
 	scratchIntra []int
 }
 
@@ -141,7 +148,7 @@ func NewSparsifier(g, h *graph.Graph, cfg Config) (*Sparsifier, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: setup sketch: %w", err)
 	}
-	s := &Sparsifier{G: g, H: h, cfg: cfg, dec: dec, sk: sk}
+	s := &Sparsifier{G: g, H: h, cfg: cfg, dec: dec, sk: sk, hBase: h.Snapshot()}
 	s.filterLevel = dec.FilterLevel(cfg.TargetCond)
 	if cfg.MaxFilterLevel > 0 && s.filterLevel > cfg.MaxFilterLevel {
 		s.filterLevel = cfg.MaxFilterLevel
@@ -318,6 +325,7 @@ func (s *Sparsifier) Resparsify() error {
 	}
 	s.dec = dec
 	s.sk = sk
+	s.hBase = s.H.Snapshot()
 	s.filterLevel = dec.FilterLevel(s.cfg.TargetCond)
 	if s.cfg.MaxFilterLevel > 0 && s.filterLevel > s.cfg.MaxFilterLevel {
 		s.filterLevel = s.cfg.MaxFilterLevel

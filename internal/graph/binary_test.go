@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestBinaryRoundTripExact(t *testing.T) {
+	g := New(6, 8)
+	g.AddEdge(0, 1, 1.25)
+	g.AddEdge(1, 2, 3e-7)
+	g.AddEdge(2, 3, 0.1) // not exactly representable
+	g.AddEdge(3, 4, 7)
+	g.AddEdge(4, 5, 2.5)
+	g.AddEdge(5, 0, 1e12)
+	// Drift the totalWeight accumulator through a mutation history so the
+	// cached value differs from a fresh re-accumulation.
+	g.SetWeight(2, 0.30000000000000004)
+	g.ScaleWeight(0, 1.0/3.0)
+	g.SetWeight(4, 1e-13)
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: %v vs %v", got, g)
+	}
+	if math.Float64bits(got.TotalWeight()) != math.Float64bits(g.TotalWeight()) {
+		t.Fatalf("totalWeight bits differ: %x vs %x",
+			math.Float64bits(got.TotalWeight()), math.Float64bits(g.TotalWeight()))
+	}
+	for i, e := range g.Edges() {
+		ge := got.Edge(i)
+		if ge.U != e.U || ge.V != e.V || math.Float64bits(ge.W) != math.Float64bits(e.W) {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ge, e)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		// totalWeight was restored, not recomputed; Validate tolerates
+		// accumulator drift only within 1e-9 relative, which this history
+		// stays inside.
+		t.Fatalf("decoded graph invalid: %v", err)
+	}
+	// Adjacency must be fully rebuilt: FindEdge works on the decoded graph.
+	if idx, ok := got.FindEdge(3, 2); !ok || idx != 2 {
+		t.Fatalf("FindEdge(3,2) = %d, %v", idx, ok)
+	}
+	// Re-encoding the decoded graph must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteBinary(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-encoded bytes differ from original encoding")
+	}
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	g := New(3, 2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), full...)
+		b[0] = 'X'
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Fatal("want error on bad magic")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(full); cut += 3 {
+			if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+				t.Fatalf("want error on truncation at %d bytes", cut)
+			}
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+			t.Fatal("want error on empty input")
+		}
+	})
+}

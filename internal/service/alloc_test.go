@@ -7,8 +7,10 @@ import (
 	"sync"
 	"testing"
 
+	"ingrass/internal/graph"
 	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
+	"ingrass/internal/wal"
 )
 
 func warmRHS(n int) []float64 {
@@ -52,6 +54,43 @@ func TestWarmSolveAllocationFree(t *testing.T) {
 	})
 	if allocs > 1.0 {
 		t.Fatalf("warm SolveInto allocates %.2f objects/op, want ~0", allocs)
+	}
+}
+
+// TestWarmSolveAllocationFreeWithWAL pins the same zero-allocation budget
+// with durability enabled: the WAL sits on the write path only, so warm
+// solves must not pick up a single allocation from it — even on an engine
+// that has logged writes and checkpointed.
+func TestWarmSolveAllocationFreeWithWAL(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are not meaningful")
+	}
+	e, _ := newDurableEngine(t, 16, 16, Options{MaxBatch: 1}, t.TempDir(), wal.Options{})
+	n := e.Current().G.NumNodes()
+	// Exercise the durable write path so the engine is past generation 0.
+	ctx := context.Background()
+	if _, err := e.Add(ctx, []graph.Edge{{U: 0, V: n - 1, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Current()
+	rhs := warmRHS(n)
+	x := make([]float64, n)
+	opts := solver.Options{Tol: 1e-8}
+	for i := 0; i < 3; i++ {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1.0 {
+		t.Fatalf("warm SolveInto with WAL allocates %.2f objects/op, want ~0", allocs)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
+	"ingrass/internal/wal"
 )
 
 // ErrClosed is returned for writes enqueued after Close.
@@ -217,16 +218,61 @@ func (e *Engine) flush(batch []*request) {
 	}
 
 	mutated := len(adds) > 0 && addErr == nil
-	for _, out := range delResults {
-		if out.err == nil {
+	// Applied deletion batches in application order — exactly what WAL
+	// replay must re-run after the coalesced adds.
+	var appliedDels [][]graph.Edge
+	for _, r := range batch {
+		if r.kind != opDelete {
+			continue
+		}
+		if out := delResults[r]; out.err == nil {
 			mutated = true
+			appliedDels = append(appliedDels, r.edges)
 		}
 	}
-	snap := e.reg.Current()
+
+	// Generation bump and COW snapshots happen under the same critical
+	// section as the application itself, so a concurrent Checkpoint always
+	// captures (state, generation) pairs consistently. Publication is
+	// deferred until after the WAL append: readers and futures must not
+	// observe a generation whose record might not survive a crash.
+	var snap *Snapshot
+	var walRec *wal.BatchRecord
 	if mutated {
-		snap = e.publishLocked()
+		gen := e.stats.generation.Add(1)
+		snap = newSnapshot(gen, e.sp.G.Snapshot(), e.sp.H.Snapshot(), &e.stats, e.opts.Solver)
+		if e.opts.Store != nil && !e.walBroken.Load() {
+			walRec = &wal.BatchRecord{Gen: gen, DelBatches: appliedDels}
+			if addErr == nil && len(adds) > 0 {
+				walRec.Adds = adds
+			}
+		}
+	} else {
+		snap = e.reg.Current()
 	}
 	e.mu.Unlock()
+
+	// WAL-before-publish: log the applied batch, then make it visible.
+	var walErr error
+	if walRec != nil {
+		n, err := e.opts.Store.Append(*walRec)
+		if err != nil {
+			// Sticky: a gapped log must not grow (replay would be wrong).
+			// The next successful Checkpoint covers the gap and re-arms.
+			e.walBroken.Store(true)
+			e.stats.walErrors.Add(1)
+			walErr = fmt.Errorf("%w: %v", ErrNotDurable, err)
+		} else {
+			e.stats.walAppends.Add(1)
+			e.stats.walBytes.Add(uint64(n))
+		}
+	} else if mutated && e.opts.Store != nil {
+		// Degraded mode: the write is applied but goes unlogged.
+		walErr = ErrNotDurable
+	}
+	if mutated {
+		e.reg.Publish(snap)
+	}
 
 	// Complete futures outside the write lock.
 	for _, r := range batch {
@@ -261,7 +307,7 @@ func (e *Engine) flush(batch []*request) {
 				r.p.complete(WriteResult{}, err)
 			} else {
 				e.stats.flushedAdds.Add(uint64(len(r.edges)))
-				r.p.complete(res, nil)
+				r.p.complete(res, walErr)
 			}
 			e.stats.queueDepth.Add(-1)
 		case opDelete:
@@ -272,7 +318,7 @@ func (e *Engine) flush(batch []*request) {
 				r.p.complete(WriteResult{}, out.err)
 			} else {
 				e.stats.flushedDeletes.Add(uint64(len(r.edges)))
-				r.p.complete(out.res, nil)
+				r.p.complete(out.res, walErr)
 			}
 			e.stats.queueDepth.Add(-1)
 		case opBarrier:

@@ -17,10 +17,18 @@
 // generation's solves — repeated solves on an unchanged graph skip the
 // O(N+E) setup entirely, which the PrecondBuilds/PrecondReuses counters
 // make observable.
+//
+// When Options.Store is set, the engine is durable: every applied batch is
+// appended to the write-ahead log (internal/wal) *before* its generation is
+// published to readers or its futures complete, Checkpoint persists the
+// full state from O(1) copy-on-write snapshots without stalling writers,
+// and Recover rebuilds an engine from checkpoint ⊕ WAL replay so a restart
+// resumes at the exact pre-crash generation.
 package service
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"sync"
@@ -29,6 +37,7 @@ import (
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
 	"ingrass/internal/solver"
+	"ingrass/internal/wal"
 )
 
 // Options configures an Engine.
@@ -49,6 +58,14 @@ type Options struct {
 	// per-snapshot preconditioner factorization (inner tolerances, worker
 	// counts) and is the base that per-request options override.
 	Solver solver.Options
+	// Store, when non-nil, makes the engine durable: each applied batch is
+	// appended to the store's WAL before its generation is published. The
+	// engine does not own the store; the caller closes it after Close.
+	Store *wal.Store
+	// InitialGeneration is the generation the engine starts serving at
+	// (non-zero after recovery, so generation numbers stay aligned with the
+	// checkpoint and WAL records on disk).
+	InitialGeneration uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +94,16 @@ type Engine struct {
 	reg   *Registry
 	stats Stats
 
+	// Durability state. walBroken flips on the first failed WAL append and
+	// stays set — a log with a gap must not accept later records, or replay
+	// would reconstruct the wrong graph — until a successful Checkpoint
+	// captures the full state and thereby covers the gap. It is read by the
+	// batcher under mu and cleared by Checkpoint under mu.
+	walBroken atomic.Bool
+	// ckptMu serializes checkpoints (the encode + file write can be long;
+	// two interleaved checkpoints would just waste I/O).
+	ckptMu sync.Mutex
+
 	reqs chan *request
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -86,6 +113,18 @@ type Engine struct {
 	sendMu sync.RWMutex
 	closed atomic.Bool
 }
+
+// Durability errors.
+var (
+	// ErrNotDurable accompanies an otherwise-successful write whose WAL
+	// append failed: the write IS applied and visible to readers, but it
+	// would not survive a crash until the next successful Checkpoint. It is
+	// returned alongside a valid WriteResult.
+	ErrNotDurable = errors.New("service: write applied but not durable (WAL append failed)")
+	// ErrNoStore reports a durability operation on an engine that was
+	// built without a wal.Store.
+	ErrNoStore = errors.New("service: engine has no durable store")
+)
 
 // New wraps an already-set-up sparsifier in an engine and publishes the
 // generation-0 snapshot. The engine takes ownership of sp: the caller must
@@ -98,19 +137,62 @@ func New(sp *core.Sparsifier, opts Options) *Engine {
 	}
 	e.reqs = make(chan *request, e.opts.QueueCapacity)
 	e.reg = NewRegistry(e.opts.Retain)
-	e.reg.Publish(newSnapshot(0, sp.G.Snapshot(), sp.H.Snapshot(), &e.stats, e.opts.Solver))
+	e.stats.generation.Store(e.opts.InitialGeneration)
+	e.stats.lastCheckpoint.Store(e.opts.InitialGeneration)
+	e.reg.Publish(newSnapshot(e.opts.InitialGeneration, sp.G.Snapshot(), sp.H.Snapshot(), &e.stats, e.opts.Solver))
 	e.wg.Add(1)
 	go e.run()
 	return e
 }
 
-// publishLocked bumps the generation and installs a fresh snapshot pair.
-// Callers hold e.mu.
-func (e *Engine) publishLocked() *Snapshot {
-	gen := e.stats.generation.Add(1)
-	snap := newSnapshot(gen, e.sp.G.Snapshot(), e.sp.H.Snapshot(), &e.stats, e.opts.Solver)
-	e.reg.Publish(snap)
-	return snap
+// Recover rebuilds an engine from a durable store: it loads the newest
+// checkpoint, replays the WAL records past it through the sparsifier
+// (identical code path to the original applications, so the reconstruction
+// is bit-exact), and starts the engine at the recovered generation with the
+// store attached for further logging. The caller still owns the store.
+func Recover(store *wal.Store, opts Options) (*Engine, error) {
+	sp, gen, err := store.RestoreState()
+	if err != nil {
+		return nil, err
+	}
+	opts.Store = store
+	opts.InitialGeneration = gen
+	return New(sp, opts), nil
+}
+
+// Checkpoint persists the engine's full current state to the store and
+// prunes the WAL records it covers. The state capture is O(1) copy-on-write
+// snapshots taken under the write lock — writers never wait on the
+// encoding or the disk. A successful checkpoint also repairs a degraded
+// WAL (see ErrNotDurable): once the full state is on disk, the unlogged
+// suffix is covered and appending may resume.
+func (e *Engine) Checkpoint() (uint64, error) {
+	if e.opts.Store == nil {
+		return 0, ErrNoStore
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	e.mu.Lock()
+	gen := e.stats.generation.Load()
+	state := e.sp.PersistentState()
+	e.mu.Unlock()
+
+	if err := e.opts.Store.WriteCheckpoint(wal.Checkpoint{Gen: gen, State: state}); err != nil {
+		return gen, err
+	}
+	// Heal a degraded WAL only if nothing was applied since the capture:
+	// a batch applied while the checkpoint file was being written is not in
+	// the checkpoint and (being unlogged while broken) not in the WAL, so
+	// the gap would persist. The next checkpoint gets it.
+	e.mu.Lock()
+	if e.stats.generation.Load() == gen {
+		e.walBroken.Store(false)
+	}
+	e.mu.Unlock()
+	e.stats.checkpoints.Add(1)
+	e.stats.lastCheckpoint.Store(gen)
+	return gen, nil
 }
 
 // nodeCount reads the (append-only) node count for static validation.

@@ -21,6 +21,13 @@ type Stats struct {
 	flushedAdds    atomic.Uint64
 	flushedDeletes atomic.Uint64
 	queueDepth     atomic.Int64
+
+	// Durability counters (zero on engines without a store).
+	walAppends     atomic.Uint64
+	walBytes       atomic.Uint64
+	walErrors      atomic.Uint64
+	checkpoints    atomic.Uint64
+	lastCheckpoint atomic.Uint64
 }
 
 // StatsView is a plain copy of the counters, JSON-friendly for /stats.
@@ -52,6 +59,16 @@ type StatsView struct {
 	FlushedDeletes uint64 `json:"flushed_deletes"`
 	// QueueDepth is the number of write requests awaiting a flush.
 	QueueDepth int64 `json:"queue_depth"`
+	// WALAppends / WALBytes count batches logged to the write-ahead log and
+	// their framed size; WALErrors counts failed appends (each one degrades
+	// durability until the next successful checkpoint). Checkpoints counts
+	// completed checkpoints and LastCheckpointGen the generation the newest
+	// one covers.
+	WALAppends        uint64 `json:"wal_appends"`
+	WALBytes          uint64 `json:"wal_bytes"`
+	WALErrors         uint64 `json:"wal_errors"`
+	Checkpoints       uint64 `json:"checkpoints"`
+	LastCheckpointGen uint64 `json:"last_checkpoint_gen"`
 }
 
 // View snapshots the counters.
@@ -71,5 +88,10 @@ func (s *Stats) View() StatsView {
 		FlushedAdds:       s.flushedAdds.Load(),
 		FlushedDeletes:    s.flushedDeletes.Load(),
 		QueueDepth:        s.queueDepth.Load(),
+		WALAppends:        s.walAppends.Load(),
+		WALBytes:          s.walBytes.Load(),
+		WALErrors:         s.walErrors.Load(),
+		Checkpoints:       s.checkpoints.Load(),
+		LastCheckpointGen: s.lastCheckpoint.Load(),
 	}
 }

@@ -1,0 +1,214 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ingrass/internal/core"
+	"ingrass/internal/graph"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+)
+
+// Checkpoint is a durable image of the full engine state at one generation.
+// Together with the WAL records after Gen it reconstructs the exact
+// pre-crash engine: RestoreSparsifier rebuilds the LRD decomposition and
+// sketch deterministically from State.HBase, so neither needs an on-disk
+// representation.
+type Checkpoint struct {
+	// Gen is the snapshot generation the state corresponds to.
+	Gen uint64
+	// State is the captured sparsifier state (graphs are COW snapshots).
+	State core.PersistentState
+}
+
+// Checkpoint file layout:
+//
+//	magic   [8]byte  "IGCKPT01"
+//	body    (see encodeCheckpoint)
+//	crc     uint32 LE, IEEE CRC-32 over body
+//
+// The body stores the generation, the normalized core.Config, the filter
+// level, the cumulative counters, and the three graphs (HBase, G, H) in the
+// binary graph format (internal/graph.WriteBinary). Floats are stored as
+// IEEE-754 bit patterns: recovery is bit-exact by construction.
+var checkpointMagic = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '1'}
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// encodeCheckpoint serializes the body (everything between magic and CRC).
+func encodeCheckpoint(ck Checkpoint) ([]byte, error) {
+	var b []byte
+	b = appendUvarint(b, ck.Gen)
+
+	cfg := ck.State.Config
+	b = appendF64(b, cfg.TargetCond)
+	b = appendUvarint(b, uint64(cfg.MaxFilterLevel))
+	b = appendBool(b, cfg.DisableWeightTransfer)
+	b = appendUvarint(b, uint64(cfg.Workers))
+	b = appendF64(b, cfg.LRD.InitialDiameter)
+	b = appendF64(b, cfg.LRD.Growth)
+	b = appendUvarint(b, uint64(cfg.LRD.MaxLevels))
+	b = appendUvarint(b, uint64(cfg.LRD.Krylov.Order))
+	b = appendUvarint(b, uint64(cfg.LRD.Krylov.Starts))
+	b = binary.LittleEndian.AppendUint64(b, cfg.LRD.Krylov.Seed)
+	b = appendUvarint(b, uint64(cfg.LRD.Krylov.Workers))
+
+	b = appendUvarint(b, uint64(ck.State.FilterLevel))
+
+	st := ck.State.Stats
+	b = appendUvarint(b, uint64(st.Processed))
+	b = appendUvarint(b, uint64(st.Included))
+	b = appendUvarint(b, uint64(st.Merged))
+	b = appendUvarint(b, uint64(st.Redistributed))
+	b = appendUvarint(b, uint64(st.Deleted))
+	b = appendUvarint(b, uint64(st.Promoted))
+
+	var gb bytes.Buffer
+	for _, g := range []*graph.Graph{ck.State.HBase, ck.State.G, ck.State.H} {
+		if g == nil {
+			return nil, fmt.Errorf("wal: checkpoint state missing a graph")
+		}
+		gb.Reset()
+		if err := graph.WriteBinary(&gb, g); err != nil {
+			return nil, err
+		}
+		b = appendUvarint(b, uint64(gb.Len()))
+		b = append(b, gb.Bytes()...)
+	}
+	return b, nil
+}
+
+// decodeCheckpoint parses a body produced by encodeCheckpoint.
+func decodeCheckpoint(body []byte) (Checkpoint, error) {
+	var ck Checkpoint
+	r := &byteReader{b: body}
+	uv := func(dst *int) error {
+		x, err := r.uvarint()
+		if err == nil {
+			*dst = int(x)
+		}
+		return err
+	}
+	f64 := func(dst *float64) error {
+		x, err := r.u64()
+		if err == nil {
+			*dst = math.Float64frombits(x)
+		}
+		return err
+	}
+	boolean := func(dst *bool) error {
+		if r.off >= len(r.b) {
+			return fmt.Errorf("wal: checkpoint truncated at offset %d", r.off)
+		}
+		*dst = r.b[r.off] != 0
+		r.off++
+		return nil
+	}
+
+	var err error
+	if ck.Gen, err = r.uvarint(); err != nil {
+		return ck, err
+	}
+	var cfg core.Config
+	var lcfg lrd.Config
+	var kcfg krylov.Config
+	steps := []func() error{
+		func() error { return f64(&cfg.TargetCond) },
+		func() error { return uv(&cfg.MaxFilterLevel) },
+		func() error { return boolean(&cfg.DisableWeightTransfer) },
+		func() error { return uv(&cfg.Workers) },
+		func() error { return f64(&lcfg.InitialDiameter) },
+		func() error { return f64(&lcfg.Growth) },
+		func() error { return uv(&lcfg.MaxLevels) },
+		func() error { return uv(&kcfg.Order) },
+		func() error { return uv(&kcfg.Starts) },
+		func() error {
+			x, err := r.u64()
+			kcfg.Seed = x
+			return err
+		},
+		func() error { return uv(&kcfg.Workers) },
+		func() error { return uv(&ck.State.FilterLevel) },
+		func() error { return uv(&ck.State.Stats.Processed) },
+		func() error { return uv(&ck.State.Stats.Included) },
+		func() error { return uv(&ck.State.Stats.Merged) },
+		func() error { return uv(&ck.State.Stats.Redistributed) },
+		func() error { return uv(&ck.State.Stats.Deleted) },
+		func() error { return uv(&ck.State.Stats.Promoted) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return ck, err
+		}
+	}
+	lcfg.Krylov = kcfg
+	cfg.LRD = lcfg
+	ck.State.Config = cfg
+
+	for _, dst := range []**graph.Graph{&ck.State.HBase, &ck.State.G, &ck.State.H} {
+		size, err := r.uvarint()
+		if err != nil {
+			return ck, err
+		}
+		if uint64(r.off)+size > uint64(len(r.b)) {
+			return ck, fmt.Errorf("wal: checkpoint graph block overruns body")
+		}
+		g, err := graph.ReadBinary(bytes.NewReader(r.b[r.off : r.off+int(size)]))
+		if err != nil {
+			return ck, err
+		}
+		r.off += int(size)
+		*dst = g
+	}
+	if r.off != len(body) {
+		return ck, fmt.Errorf("wal: %d trailing bytes after checkpoint", len(body)-r.off)
+	}
+	return ck, nil
+}
+
+// marshalCheckpoint produces the full file contents (magic + body + CRC).
+func marshalCheckpoint(ck Checkpoint) ([]byte, error) {
+	body, err := encodeCheckpoint(ck)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(checkpointMagic)+len(body)+4)
+	out = append(out, checkpointMagic[:]...)
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
+	return out, nil
+}
+
+// unmarshalCheckpoint validates magic and CRC, then decodes the body.
+func unmarshalCheckpoint(data []byte) (Checkpoint, error) {
+	var ck Checkpoint
+	if len(data) < len(checkpointMagic)+4 {
+		return ck, fmt.Errorf("%w: checkpoint file too short", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(checkpointMagic)], checkpointMagic[:]) {
+		return ck, fmt.Errorf("%w: bad checkpoint magic", ErrCorrupt)
+	}
+	body := data[len(checkpointMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != want {
+		return ck, fmt.Errorf("%w: checkpoint CRC mismatch", ErrCorrupt)
+	}
+	ck, err := decodeCheckpoint(body)
+	if err != nil {
+		return ck, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return ck, nil
+}

@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ingrass/internal/graph"
+)
+
+// BatchRecord is one applied write batch: everything the engine mutated in
+// a single flush, in application order. Replaying the record against the
+// state the previous generation left behind reproduces generation Gen
+// exactly: Adds go through one core.ApplyBatch pass (which re-sorts by
+// distortion deterministically), then each deletion batch goes through
+// core.DeleteEdges in order. Only *applied* mutations are logged — requests
+// that failed validation never reach the WAL, so replay cannot fail where
+// the original didn't.
+type BatchRecord struct {
+	// Gen is the snapshot generation this batch produced.
+	Gen uint64
+	// Adds are the inserted edges of the batch, in coalesced enqueue order.
+	Adds []graph.Edge
+	// DelBatches are the applied deletion requests, in application order.
+	// Deletions identify edges by endpoints; weights are not stored.
+	DelBatches [][]graph.Edge
+}
+
+// recordVersion is bumped on incompatible payload changes.
+const recordVersion = 1
+
+// appendUvarint appends x in unsigned LEB128.
+func appendUvarint(b []byte, x uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	return append(b, tmp[:n]...)
+}
+
+// encode serializes the record payload (the frame adds length + CRC).
+//
+// Payload layout:
+//
+//	version     uvarint (currently 1)
+//	gen         uvarint
+//	nAdds       uvarint
+//	adds        nAdds × { u uvarint, v uvarint, w uint64 LE (Float64bits) }
+//	nDelBatches uvarint
+//	delBatches  nDelBatches × { n uvarint, n × { u uvarint, v uvarint } }
+func (r BatchRecord) encode(buf []byte) []byte {
+	buf = appendUvarint(buf[:0], recordVersion)
+	buf = appendUvarint(buf, r.Gen)
+	buf = appendUvarint(buf, uint64(len(r.Adds)))
+	for _, e := range r.Adds {
+		buf = appendUvarint(buf, uint64(e.U))
+		buf = appendUvarint(buf, uint64(e.V))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.W))
+	}
+	buf = appendUvarint(buf, uint64(len(r.DelBatches)))
+	for _, batch := range r.DelBatches {
+		buf = appendUvarint(buf, uint64(len(batch)))
+		for _, e := range batch {
+			buf = appendUvarint(buf, uint64(e.U))
+			buf = appendUvarint(buf, uint64(e.V))
+		}
+	}
+	return buf
+}
+
+// byteReader walks an in-memory payload; every read error means the framed
+// CRC lied about the payload's integrity, which callers surface as
+// corruption.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: record truncated at offset %d", r.off)
+	}
+	r.off += n
+	return x, nil
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("wal: record truncated at offset %d", r.off)
+	}
+	x := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return x, nil
+}
+
+// decodeRecord parses a framed payload back into a BatchRecord.
+func decodeRecord(payload []byte) (BatchRecord, error) {
+	var rec BatchRecord
+	r := &byteReader{b: payload}
+	ver, err := r.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if ver != recordVersion {
+		return rec, fmt.Errorf("wal: record version %d not supported", ver)
+	}
+	if rec.Gen, err = r.uvarint(); err != nil {
+		return rec, err
+	}
+	nAdds, err := r.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if nAdds > uint64(len(payload)) {
+		return rec, fmt.Errorf("wal: record claims %d adds in %d bytes", nAdds, len(payload))
+	}
+	if nAdds > 0 {
+		rec.Adds = make([]graph.Edge, nAdds)
+		for i := range rec.Adds {
+			u, err := r.uvarint()
+			if err != nil {
+				return rec, err
+			}
+			v, err := r.uvarint()
+			if err != nil {
+				return rec, err
+			}
+			w, err := r.u64()
+			if err != nil {
+				return rec, err
+			}
+			rec.Adds[i] = graph.Edge{U: int(u), V: int(v), W: math.Float64frombits(w)}
+		}
+	}
+	nBatches, err := r.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if nBatches > uint64(len(payload)) {
+		return rec, fmt.Errorf("wal: record claims %d delete batches in %d bytes", nBatches, len(payload))
+	}
+	if nBatches > 0 {
+		rec.DelBatches = make([][]graph.Edge, nBatches)
+		for b := range rec.DelBatches {
+			n, err := r.uvarint()
+			if err != nil {
+				return rec, err
+			}
+			if n > uint64(len(payload)) {
+				return rec, fmt.Errorf("wal: delete batch claims %d edges in %d bytes", n, len(payload))
+			}
+			batch := make([]graph.Edge, n)
+			for i := range batch {
+				u, err := r.uvarint()
+				if err != nil {
+					return rec, err
+				}
+				v, err := r.uvarint()
+				if err != nil {
+					return rec, err
+				}
+				batch[i] = graph.Edge{U: int(u), V: int(v)}
+			}
+			rec.DelBatches[b] = batch
+		}
+	}
+	if r.off != len(payload) {
+		return rec, fmt.Errorf("wal: %d trailing bytes after record", len(payload)-r.off)
+	}
+	return rec, nil
+}
+
+// recordGen peeks only the generation out of a payload (used by the open
+// scan, which validates framing without materializing edge slices).
+func recordGen(payload []byte) (uint64, error) {
+	r := &byteReader{b: payload}
+	ver, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if ver != recordVersion {
+		return 0, fmt.Errorf("wal: record version %d not supported", ver)
+	}
+	return r.uvarint()
+}

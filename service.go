@@ -9,7 +9,33 @@ import (
 	"ingrass/internal/graph"
 	"ingrass/internal/grass"
 	"ingrass/internal/service"
+	"ingrass/internal/wal"
 )
+
+// FsyncPolicy selects when the write-ahead log flushes appended records to
+// stable storage (ServiceOptions.Fsync).
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every logged batch: a crash loses no
+	// acknowledged write. This is the default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs at most once per FsyncEvery: a crash loses at
+	// most that window of acknowledged writes.
+	FsyncInterval
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever
+)
+
+// String renders the policy in the CLI's --fsync vocabulary
+// (always, interval, never).
+func (p FsyncPolicy) String() string { return wal.SyncPolicy(p).String() }
+
+// ParseFsyncPolicy parses "always", "interval", or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	p, err := wal.ParseSyncPolicy(s)
+	return FsyncPolicy(p), err
+}
 
 // ServiceOptions configures a Service.
 type ServiceOptions struct {
@@ -32,6 +58,43 @@ type ServiceOptions struct {
 	// iteration budgets, inner-solve knobs). Per-request SolveOptions
 	// override it field-wise; Workers defaults to Options.Workers.
 	Solve SolveOptions
+
+	// DataDir, when non-empty, makes the service durable: every applied
+	// write batch is appended to a write-ahead log in this directory before
+	// its generation becomes visible, and Checkpoint persists the full
+	// state there. NewService requires the directory to hold no prior
+	// state (use LoadService to resume one); it writes an initial
+	// generation-0 checkpoint so the directory is recoverable from the
+	// first write on.
+	DataDir string
+	// Fsync is the WAL flush policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the flush interval for FsyncInterval (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentBytes rotates WAL segments at this size (default 64 MiB).
+	SegmentBytes int64
+}
+
+func (o ServiceOptions) walOptions() wal.Options {
+	return wal.Options{
+		SegmentBytes: o.SegmentBytes,
+		Sync:         wal.SyncPolicy(o.Fsync),
+		SyncEvery:    o.FsyncEvery,
+	}
+}
+
+func (o ServiceOptions) engineOptions(sopts SolveOptions) service.Options {
+	s := sopts.internal()
+	if s.Workers <= 0 {
+		s.Workers = o.Options.normalized().Workers
+	}
+	return service.Options{
+		MaxBatch:      o.MaxBatch,
+		FlushInterval: o.FlushInterval,
+		QueueCapacity: o.QueueCapacity,
+		Retain:        o.RetainSnapshots,
+		Solver:        s,
+	}
 }
 
 // Service is the concurrent counterpart of Incremental: a long-lived engine
@@ -42,14 +105,40 @@ type ServiceOptions struct {
 // copy-on-write snapshot whose preconditioner factorization is cached per
 // generation, so repeated solves on an unchanged graph skip setup.
 type Service struct {
-	eng *service.Engine
+	eng   *service.Engine
+	store *wal.Store // nil without DataDir
 }
 
 // NewService builds the initial sparsifier H(0) of g (as NewIncremental
 // does), runs the inGRASS setup phase, and starts the serving engine. The
 // Service takes ownership of g: the caller must not touch it afterwards.
 // Close the Service to stop the write pipeline.
+//
+// With ServiceOptions.DataDir set the service is durable (see Checkpoint
+// and LoadService). NewService refuses a data directory that already holds
+// state: silently rebuilding over an existing log would orphan it, and
+// resuming it is LoadService's job.
 func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
+	// Claim the data directory before the (potentially minutes-long) setup
+	// phase, so a directory that already holds state fails fast.
+	var store *wal.Store
+	if opts.DataDir != "" {
+		var err error
+		store, err = wal.Open(opts.DataDir, opts.walOptions())
+		if err != nil {
+			return nil, fmt.Errorf("ingrass: open data dir: %w", err)
+		}
+		if !store.Empty() {
+			store.Close()
+			return nil, fmt.Errorf("%w: %s", ErrDataDirNotEmpty, opts.DataDir)
+		}
+	}
+	fail := func(err error) (*Service, error) {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
 	o := opts.Options.normalized()
 	init, err := grass.Sparsify(g.g, grass.Config{
 		TargetDensity:    o.InitialDensity,
@@ -58,7 +147,7 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 		Seed:             o.Seed,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ingrass: initial sparsifier: %w", err)
+		return fail(fmt.Errorf("ingrass: initial sparsifier: %w", err))
 	}
 	sp, err := core.NewSparsifier(g.g, init.H, core.Config{
 		TargetCond: o.TargetCond,
@@ -66,20 +155,60 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 		Workers:    o.Workers,
 	})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	sopts := opts.Solve.internal()
-	if sopts.Workers <= 0 {
-		sopts.Workers = o.Workers
+	eopts := opts.engineOptions(opts.Solve)
+	if store != nil {
+		// The generation-0 checkpoint makes the directory recoverable
+		// before the first write is ever logged.
+		if err := store.WriteCheckpoint(wal.Checkpoint{Gen: 0, State: sp.PersistentState()}); err != nil {
+			return fail(fmt.Errorf("ingrass: initial checkpoint: %w", err))
+		}
+		eopts.Store = store
 	}
-	eng := service.New(sp, service.Options{
-		MaxBatch:      opts.MaxBatch,
-		FlushInterval: opts.FlushInterval,
-		QueueCapacity: opts.QueueCapacity,
-		Retain:        opts.RetainSnapshots,
-		Solver:        sopts,
-	})
-	return &Service{eng: eng}, nil
+	return &Service{eng: service.New(sp, eopts), store: store}, nil
+}
+
+// LoadService resumes a durable service from ServiceOptions.DataDir:
+// it loads the newest checkpoint, replays the write-ahead-log tail through
+// the identical update path, and starts serving at the exact generation the
+// previous process last made durable — without re-running GRASS setup. The
+// sparsifier configuration (target condition number, seeds, filter level)
+// comes from the checkpoint, so opts.Options cannot alter the recovered
+// algorithm state; runtime knobs come from opts as usual — batching, solve
+// defaults, fsync policy, and Options.Workers (the solver-parallelism
+// default when Solve.Workers is unset).
+//
+// A torn trailing WAL record (a crash mid-append) is detected by its CRC
+// frame and truncated away; it carried a write that was never acknowledged.
+// Damage anywhere else fails with an error matching ErrCorruptData.
+func LoadService(opts ServiceOptions) (*Service, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("ingrass: LoadService requires DataDir")
+	}
+	store, err := wal.Open(opts.DataDir, opts.walOptions())
+	if err != nil {
+		return nil, fmt.Errorf("ingrass: open data dir: %w", err)
+	}
+	eng, err := service.Recover(store, opts.engineOptions(opts.Solve))
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("ingrass: recover %s: %w", opts.DataDir, err)
+	}
+	return &Service{eng: eng, store: store}, nil
+}
+
+// Checkpoint persists the service's full current state to the data
+// directory and prunes the WAL records it covers, without stalling
+// concurrent reads or writes (the state capture is an O(1) copy-on-write
+// snapshot). It returns the generation the checkpoint covers. Checkpoint
+// also restores durability after a degraded period (see ErrNotDurable).
+func (s *Service) Checkpoint() (uint64, error) {
+	gen, err := s.eng.Checkpoint()
+	if err != nil {
+		return gen, fmt.Errorf("ingrass: checkpoint: %w", err)
+	}
+	return gen, nil
 }
 
 // WriteResult reports one completed write request.
@@ -261,6 +390,14 @@ type ServiceStats struct {
 	FlushedAdds       uint64 `json:"flushed_adds"`
 	FlushedDeletes    uint64 `json:"flushed_deletes"`
 	QueueDepth        int64  `json:"queue_depth"`
+	// Durability counters (zero without DataDir): logged batches, their
+	// framed bytes, failed appends, completed checkpoints, and the
+	// generation the newest checkpoint covers.
+	WALAppends        uint64 `json:"wal_appends"`
+	WALBytes          uint64 `json:"wal_bytes"`
+	WALErrors         uint64 `json:"wal_errors"`
+	Checkpoints       uint64 `json:"checkpoints"`
+	LastCheckpointGen uint64 `json:"last_checkpoint_gen"`
 	// Sparsifier state for the current generation.
 	Nodes           int     `json:"nodes"`
 	GraphEdges      int     `json:"graph_edges"`
@@ -287,6 +424,11 @@ func (s *Service) Stats() ServiceStats {
 		FlushedAdds:       v.FlushedAdds,
 		FlushedDeletes:    v.FlushedDeletes,
 		QueueDepth:        v.QueueDepth,
+		WALAppends:        v.WALAppends,
+		WALBytes:          v.WALBytes,
+		WALErrors:         v.WALErrors,
+		Checkpoints:       v.Checkpoints,
+		LastCheckpointGen: v.LastCheckpointGen,
 		Nodes:             snap.G.NumNodes(),
 		GraphEdges:        snap.G.NumEdges(),
 		SparsifierEdges:   snap.H.NumEdges(),
@@ -298,7 +440,12 @@ func (s *Service) Stats() ServiceStats {
 // published.
 func (s *Service) Flush(ctx context.Context) error { return s.eng.Flush(ctx) }
 
-// Close stops the write pipeline after flushing already-enqueued writes.
-// Further writes fail; reads against already-obtained snapshots keep
-// working.
-func (s *Service) Close() { s.eng.Close() }
+// Close stops the write pipeline after flushing already-enqueued writes,
+// then syncs and closes the data directory (if any). Further writes fail;
+// reads against already-obtained snapshots keep working.
+func (s *Service) Close() {
+	s.eng.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
