@@ -1,0 +1,305 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ingrass/internal/core"
+	"ingrass/internal/gen"
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+	"ingrass/internal/kernel"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+	"ingrass/internal/service"
+	"ingrass/internal/solver"
+	"ingrass/internal/sparse"
+	"ingrass/internal/vecmath"
+)
+
+// The bench subcommand runs the repository's hot-path microbenchmarks at a
+// fixed scale and appends a labeled run to a machine-readable trajectory
+// file (BENCH_solve.json). Every performance PR re-runs it and commits the
+// result, so regressions show up as a new run that is slower than the last
+// one — reviewable in the diff, not just in CI logs.
+
+// benchResult is one benchmark measurement.
+type benchResult struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	// SpeedupVsSerial is set on parallel entries that have a serial twin.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// benchRun is one labeled invocation of the suite.
+type benchRun struct {
+	Label      string        `json:"label"`
+	Recorded   string        `json:"recorded"`
+	Go         string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Note       string        `json:"note,omitempty"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchFile is the committed trajectory: runs appended in chronological
+// order.
+type benchFile struct {
+	Schema int        `json:"schema"`
+	Runs   []benchRun `json:"runs"`
+}
+
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_solve.json", "trajectory file to append this run to")
+	label := fs.String("label", "dev", "label for this run")
+	note := fs.String("note", "", "free-form note stored with the run")
+	stdout := fs.Bool("stdout", false, "print the run as JSON instead of appending to -out")
+	fs.Parse(args)
+
+	run := benchRun{
+		Label:      *label,
+		Recorded:   time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+
+	addPair := func(name string, serialNs float64, r benchResult) benchResult {
+		if serialNs > 0 && r.NsOp > 0 {
+			r.SpeedupVsSerial = serialNs / r.NsOp
+		}
+		return r
+	}
+
+	measure := func(name string, fn func(b *testing.B)) benchResult {
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", name)
+		res := testing.Benchmark(fn)
+		return benchResult{
+			Name:     name,
+			NsOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesOp:  res.AllocedBytesPerOp(),
+			AllocsOp: res.AllocsPerOp(),
+		}
+	}
+
+	// --- SpMV: serial vs legacy spawn-per-call vs persistent pool --------
+	for _, n := range []int{10000, 100000} {
+		csr := graph.NewCSR(benchGrid(n))
+		x := make([]float64, csr.N)
+		dst := make([]float64, csr.N)
+		for i := range x {
+			x[i] = math.Sin(float64(i))
+		}
+		prefix := fmt.Sprintf("spmv/grid/n=%d", csr.N)
+		serial := measure(prefix+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				csr.LapMul(dst, x)
+			}
+		})
+		run.Results = append(run.Results, serial)
+		procs := runtime.GOMAXPROCS(0)
+		run.Results = append(run.Results, addPair(prefix, serial.NsOp,
+			measure(fmt.Sprintf("%s/spawn/workers=%d", prefix, procs), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					csr.LapMulParallel(dst, x, procs)
+				}
+			})))
+		pool := kernel.Shared(procs)
+		part := csr.NNZPartition(pool.Workers())
+		run.Results = append(run.Results, addPair(prefix, serial.NsOp,
+			measure(fmt.Sprintf("%s/pool/workers=%d", prefix, pool.Workers()), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					pool.LapMul(csr, part, dst, x)
+				}
+			})))
+	}
+
+	// social_ba's power-law degrees are the nnz-skew stress for the
+	// balanced partition.
+	if tc, err := gen.Lookup("social_ba"); err == nil {
+		if g, err := tc.Build(0.1, 1); err == nil {
+			csr := graph.NewCSR(g)
+			x := make([]float64, csr.N)
+			dst := make([]float64, csr.N)
+			for i := range x {
+				x[i] = math.Sin(float64(i))
+			}
+			prefix := fmt.Sprintf("spmv/social_ba/n=%d", csr.N)
+			serial := measure(prefix+"/serial", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					csr.LapMul(dst, x)
+				}
+			})
+			run.Results = append(run.Results, serial)
+			pool := kernel.Shared(runtime.GOMAXPROCS(0))
+			part := csr.NNZPartition(pool.Workers())
+			run.Results = append(run.Results, addPair(prefix, serial.NsOp,
+				measure(fmt.Sprintf("%s/pool/workers=%d", prefix, pool.Workers()), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						pool.LapMul(csr, part, dst, x)
+					}
+				})))
+		}
+	}
+
+	// --- Warm preconditioned solve (the service read path) ---------------
+	// Same shape as internal/service's BenchmarkSolveWarm and the CI
+	// allocation gates: a 16x16 grid engine, warm factorization, SolveInto.
+	warmWorkers := []int{1}
+	if runtime.GOMAXPROCS(0) > 1 {
+		warmWorkers = append(warmWorkers, runtime.GOMAXPROCS(0))
+	}
+	var warmSerialNs float64
+	for _, workers := range warmWorkers {
+		name := "solve_warm/grid16x16/serial"
+		if workers > 1 {
+			name = fmt.Sprintf("solve_warm/grid16x16/parallel/workers=%d", workers)
+		}
+		eng, n := benchEngine(workers)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = math.Sin(float64(i))
+		}
+		vecmath.CenterMean(rhs)
+		x := make([]float64, n)
+		snap := eng.Current()
+		opts := solver.Options{Tol: 1e-8}
+		for i := 0; i < 3; i++ {
+			if _, err := snap.SolveInto(nil, x, rhs, opts); err != nil {
+				fatal(fmt.Errorf("bench: warm solve: %w", err))
+			}
+		}
+		res := addPair(name, warmSerialNs, measure(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := snap.SolveInto(nil, x, rhs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		if workers == 1 {
+			warmSerialNs = res.NsOp
+		}
+		run.Results = append(run.Results, res)
+		eng.Close()
+	}
+
+	// --- Jacobi-PCG Laplacian solve (fe_4elt2, matches BenchmarkLapSolve)
+	if tc, err := gen.Lookup("fe_4elt2"); err == nil {
+		if g, err := tc.Build(0.1, 1); err == nil {
+			s := sparse.NewLaplacianSolver(g, solver.Options{Tol: 1e-6})
+			rhs := make([]float64, g.NumNodes())
+			vecmath.NewRNG(1).FillNormal(rhs)
+			vecmath.CenterMean(rhs)
+			dst := make([]float64, g.NumNodes())
+			run.Results = append(run.Results, measure("lapsolve/fe_4elt2/tol=1e-6", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(nil, dst, rhs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+	}
+
+	// --- Per-edge incremental update (the paper's O(log N) claim) --------
+	if g, err := gen.Delaunay(8000, 1); err == nil {
+		if init, err := grass.Sparsify(g, grass.Config{
+			TargetDensity: 0.10, Tree: grass.TreeLowStretch, SimilarityFilter: true, Seed: 1,
+		}); err == nil {
+			sp, err := core.NewSparsifier(g.Clone(), init.H.Clone(), core.Config{
+				TargetCond: 100,
+				LRD:        lrd.Config{Krylov: krylov.Config{Seed: 1}},
+			})
+			if err == nil {
+				stream, serr := gen.Stream(g, gen.StreamConfig{Kind: gen.StreamLocal, Count: 4096, Batches: 1, Seed: 3})
+				if serr == nil {
+					flat := stream[0]
+					run.Results = append(run.Results, measure("update/delaunay/n=8000/per-edge", func(b *testing.B) {
+						for i := 0; i < b.N; i++ {
+							e := flat[i%len(flat)]
+							if _, err := sp.UpdateBatch([]graph.Edge{e}); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}))
+				}
+			}
+		}
+	}
+
+	if *stdout {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(run); err != nil {
+			fatal(fmt.Errorf("bench: %w", err))
+		}
+		return
+	}
+
+	var file benchFile
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fatal(fmt.Errorf("bench: %s exists but is not a trajectory file: %w", *out, err))
+		}
+	}
+	file.Schema = 1
+	file.Runs = append(file.Runs, run)
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fatal(fmt.Errorf("bench: %w", err))
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(fmt.Errorf("bench: %w", err))
+	}
+	fmt.Printf("bench: appended run %q (%d results) to %s\n", run.Label, len(run.Results), *out)
+}
+
+// benchGrid builds a ~n-node 2D grid (the SpMV benchmark substrate:
+// bounded degree, bandwidth-bound).
+func benchGrid(n int) *graph.Graph {
+	side := int(math.Sqrt(float64(n)))
+	g := graph.New(side*side, 0)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			u := r*side + c
+			if c+1 < side {
+				g.AddEdge(u, u+1, 1)
+			}
+			if r+1 < side {
+				g.AddEdge(u, u+side, 1)
+			}
+		}
+	}
+	return g
+}
+
+// benchEngine builds the 16x16-grid service engine the warm-solve gate
+// uses, with the given frozen solver parallelism.
+func benchEngine(workers int) (*service.Engine, int) {
+	g := benchGrid(256)
+	init, err := grass.InitialSparsifier(g, 0.1, 1)
+	if err != nil {
+		fatal(fmt.Errorf("bench: %w", err))
+	}
+	sp, err := core.NewSparsifier(g, init.H, core.Config{
+		TargetCond: 50,
+		LRD:        lrd.Config{Krylov: krylov.Config{Seed: 2}},
+	})
+	if err != nil {
+		fatal(fmt.Errorf("bench: %w", err))
+	}
+	return service.New(sp, service.Options{Solver: solver.Options{Workers: workers}}), g.NumNodes()
+}

@@ -69,6 +69,8 @@ func main() {
 		cmdLoad(os.Args[2:])
 	case "info":
 		cmdInfo(os.Args[2:])
+	case "bench":
+		cmdBench(os.Args[2:])
 	default:
 		usage()
 	}
@@ -84,7 +86,8 @@ commands:
   serve      run the concurrent sparsifier service over HTTP
   save       initialize a durable data directory from a graph (setup + checkpoint)
   load       recover a data directory; inspect, verify, or export the state
-  info       print graph statistics`)
+  info       print graph statistics
+  bench      run hot-path microbenchmarks; append a run to BENCH_solve.json`)
 	os.Exit(2)
 }
 

@@ -29,7 +29,8 @@ type Options struct {
 	// stops. Default 1e-3 (three significant figures, plenty for tables).
 	Tol float64
 	// Solver configures the inner pseudo-inverse solves (tolerance default
-	// 1e-6) and Laplacian-application parallelism (Solver.Workers).
+	// 1e-6) and Laplacian-application parallelism (Solver.Workers, frozen
+	// into both pencil operators' kernel pools for the whole estimate).
 	Solver solver.Options
 	// Seed drives the random start vector.
 	Seed uint64
@@ -90,9 +91,9 @@ func Estimate(ctx context.Context, g, h *graph.Graph, opts Options) (Result, err
 	o := opts.withDefaults()
 
 	gOp := sparse.NewLapOperator(g)
-	gOp.Workers = o.Solver.Workers
+	gOp.SetWorkers(o.Solver.Workers)
 	hOp := sparse.NewLapOperator(h)
-	hOp.Workers = o.Solver.Workers
+	hOp.SetWorkers(o.Solver.Workers)
 	hSolver := sparse.NewLaplacianSolver(h, o.Solver)
 	gSolver := sparse.NewLaplacianSolver(g, o.Solver)
 

@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
 
 // CSR is a frozen compressed-sparse-row view of a graph's adjacency
 // structure, optimized for the repeated matrix-vector products at the heart
@@ -99,27 +103,91 @@ func (c *CSR) LapMul(dst, x []float64) {
 	}
 }
 
-// LapMulParallel computes dst = L x using the given number of worker
-// goroutines. Rows are partitioned into contiguous chunks, so no
-// synchronization beyond the final join is needed. Callers should reuse a
-// worker count of runtime.GOMAXPROCS(0) for large graphs and fall back to
-// LapMul below ~10k nodes, where goroutine overhead dominates.
-func (c *CSR) LapMulParallel(dst, x []float64, workers int) {
-	if workers <= 1 || c.N < 4096 {
-		c.LapMul(dst, x)
-		return
+// SpMVWork is the abstract cost of one Laplacian product: one multiply-add
+// per stored entry plus a diagonal term and a store per row.
+func (c *CSR) SpMVWork() int { return len(c.ColIdx) + 2*c.N }
+
+// spawnCutover is the SpMVWork below which spawning goroutines costs more
+// than the product itself (measured on the repo's bench families; goroutine
+// start plus join is ~2-4µs, roughly 10-20k multiply-adds). The persistent
+// pool in internal/kernel has its own, much lower cutover.
+const spawnCutover = 1 << 15
+
+// clampSpMVWorkers bounds a requested SpMV worker count: more workers than
+// GOMAXPROCS cannot run concurrently, more workers than rows get empty
+// partitions, and sub-cutover products run serially. The result is the
+// number of goroutines actually worth spawning (1 means serial).
+func clampSpMVWorkers(workers, rows, work int) int {
+	if workers > rows {
+		workers = rows
 	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if workers < 1 || work < spawnCutover {
+		return 1
+	}
+	return workers
+}
+
+// NNZPartition splits the rows into the given number of contiguous chunks
+// of near-equal work (nonzeros plus a constant per row), returning chunk
+// boundaries of length chunks+1 with part[0] = 0 and part[chunks] = N.
+// Count-based row partitions are pathological on power-law graphs, where a
+// few hub rows hold a large share of the nonzeros; balancing on the RowPtr
+// prefix (plus a per-row constant so empty-row ranges still split) keeps
+// every chunk's cost within one row of even. Each boundary is a binary
+// search over RowPtr, so freezing a partition costs O(chunks · log N).
+func (c *CSR) NNZPartition(chunks int) []int {
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > c.N && c.N > 0 {
+		chunks = c.N
+	}
+	part := make([]int, chunks+1)
+	total := c.SpMVWork()
+	for i := 1; i < chunks; i++ {
+		target := total * i / chunks
+		// Smallest u with RowPtr[u] + 2u >= target; monotone in u.
+		part[i] = sort.Search(c.N, func(u int) bool {
+			return c.RowPtr[u]+2*u >= target
+		})
+	}
+	part[chunks] = c.N
+	// Boundaries are individually monotone by construction; enforce it
+	// anyway so a degenerate search result can never cross.
+	for i := 1; i <= chunks; i++ {
+		if part[i] < part[i-1] {
+			part[i] = part[i-1]
+		}
+	}
+	return part
+}
+
+// LapMulParallel computes dst = L x using up to the given number of worker
+// goroutines over an nnz-balanced row partition. Rows are written by
+// exactly one worker each and per-row accumulation order matches LapMul, so
+// the result is bit-identical to the serial product for every worker count.
+// The count is clamped to GOMAXPROCS and the row count, and sub-cutover
+// products run serially (see clampSpMVWorkers).
+//
+// This is the legacy spawn-per-call path: it allocates the partition and
+// the join channel on every call. Hot paths go through a frozen
+// sparse.LapOperator, which dispatches into a persistent internal/kernel
+// pool with a partition precomputed at freeze time instead.
+func (c *CSR) LapMulParallel(dst, x []float64, workers int) {
 	if len(x) != c.N || len(dst) != c.N {
 		panic("graph: LapMulParallel dimension mismatch")
 	}
-	chunk := (c.N + workers - 1) / workers
+	workers = clampSpMVWorkers(workers, c.N, c.SpMVWork())
+	if workers == 1 {
+		c.LapMul(dst, x)
+		return
+	}
+	part := c.NNZPartition(workers)
 	done := make(chan struct{}, workers)
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > c.N {
-			hi = c.N
-		}
 		go func(lo, hi int) {
 			for u := lo; u < hi; u++ {
 				s := c.Degree[u] * x[u]
@@ -129,7 +197,7 @@ func (c *CSR) LapMulParallel(dst, x []float64, workers int) {
 				dst[u] = s
 			}
 			done <- struct{}{}
-		}(lo, hi)
+		}(part[w], part[w+1])
 	}
 	for w := 0; w < workers; w++ {
 		<-done

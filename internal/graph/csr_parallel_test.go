@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// buildSized returns a connected graph with exactly n nodes: a ring with
+// chords, deterministic in n, plus weight variety so wrong partitions or
+// double-written rows cannot cancel out.
+func buildSized(n int) *Graph {
+	g := New(n, 0)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1, 1+0.001*float64(i%97))
+	}
+	for i := 0; i+17 < n; i += 13 {
+		g.AddEdge(i, i+17, 0.5+0.01*float64(i%31))
+	}
+	return g
+}
+
+// starN is the worst-case nnz skew for row partitioning: node 0 holds half
+// of all nonzeros.
+func starN(n int) *Graph {
+	g := New(n, 0)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, 1+0.0001*float64(i))
+	}
+	return g
+}
+
+// withEmptyRows adds k isolated nodes (empty CSR rows) after g's nodes.
+func withEmptyRows(g *Graph, k int) *Graph {
+	out := New(g.NumNodes()+k, 0)
+	for _, e := range g.Edges() {
+		out.AddEdge(e.U, e.V, e.W)
+	}
+	return out
+}
+
+// TestLapMulParallelBitForBit is the determinism property from the issue:
+// LapMulParallel must equal LapMul bit-for-bit across sizes (straddling the
+// old hardcoded 4096 cutover) and worker counts, including counts above
+// GOMAXPROCS and the chunk count, empty rows, and the star graph's nnz
+// skew. Equality is exact (==, not a tolerance): every row is written by
+// one worker with the serial accumulation order.
+func TestLapMulParallelBitForBit(t *testing.T) {
+	old := runtime.GOMAXPROCS(16)
+	defer runtime.GOMAXPROCS(old)
+
+	sizes := []int{10, 4095, 4096, 100000}
+	workers := []int{1, 2, 3, 7, 16}
+	for _, n := range sizes {
+		cases := map[string]*Graph{"ring": buildSized(n)}
+		if n >= 4096 {
+			cases["star"] = starN(n)
+			cases["emptyrows"] = withEmptyRows(buildSized(n-n/8), n/8)
+		}
+		for name, g := range cases {
+			csr := NewCSR(g)
+			x := make([]float64, csr.N)
+			for i := range x {
+				x[i] = math.Sin(float64(i)) + 0.25*math.Cos(float64(3*i))
+			}
+			want := make([]float64, csr.N)
+			csr.LapMul(want, x)
+			got := make([]float64, csr.N)
+			for _, w := range workers {
+				for i := range got {
+					got[i] = math.NaN() // any unwritten row must be caught
+				}
+				csr.LapMulParallel(got, x, w)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d %s workers=%d: row %d: %v != %v",
+							n, name, w, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLapMulParallelClamping is the regression test for the useless-
+// goroutine bug: worker counts above GOMAXPROCS or the row count must be
+// clamped, and sub-cutover products must not fork at all.
+func TestLapMulParallelClamping(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	if got := clampSpMVWorkers(1000, 50000, 1<<20); got != 4 {
+		t.Errorf("workers=1000 clamps to %d, want GOMAXPROCS=4", got)
+	}
+	if got := clampSpMVWorkers(3, 2, 1<<20); got != 2 {
+		t.Errorf("workers above row count clamps to %d, want 2", got)
+	}
+	if got := clampSpMVWorkers(4, 50000, spawnCutover-1); got != 1 {
+		t.Errorf("sub-cutover work got %d workers, want serial", got)
+	}
+	if got := clampSpMVWorkers(0, 50000, 1<<20); got != 1 {
+		t.Errorf("workers=0 got %d, want 1", got)
+	}
+
+	// A wildly oversubscribed call must still be correct (and not leave
+	// goroutines behind: each spawn joins before return).
+	g := buildSized(20000)
+	csr := NewCSR(g)
+	x := make([]float64, csr.N)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	want := make([]float64, csr.N)
+	csr.LapMul(want, x)
+	got := make([]float64, csr.N)
+	before := runtime.NumGoroutine()
+	csr.LapMulParallel(got, x, 1<<16)
+	after := runtime.NumGoroutine()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("oversubscribed row %d mismatch", i)
+		}
+	}
+	if after > before+4 {
+		t.Errorf("goroutines leaked or oversubscribed: %d -> %d", before, after)
+	}
+}
+
+// TestNNZPartitionInvariants checks boundary structure and balance: chunks
+// cover [0, N) monotonically, and on the star graph no chunk exceeds
+// roughly twice the even share of work (the hub row is indivisible, so one
+// chunk necessarily carries it).
+func TestNNZPartitionInvariants(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"ring":  buildSized(10000),
+		"star":  starN(10000),
+		"empty": withEmptyRows(starN(5000), 5000),
+		"tiny":  buildSized(3),
+	} {
+		csr := NewCSR(g)
+		for _, chunks := range []int{1, 2, 5, 8, 64} {
+			part := csr.NNZPartition(chunks)
+			eff := len(part) - 1
+			if part[0] != 0 || part[eff] != csr.N {
+				t.Fatalf("%s chunks=%d: bad cover %v", name, chunks, []int{part[0], part[eff]})
+			}
+			rowWork := func(u int) int { return csr.RowPtr[u+1] - csr.RowPtr[u] + 2 }
+			total := csr.SpMVWork()
+			for i := 0; i < eff; i++ {
+				if part[i+1] < part[i] {
+					t.Fatalf("%s chunks=%d: boundary %d decreases", name, chunks, i)
+				}
+				var work, maxRow int
+				for u := part[i]; u < part[i+1]; u++ {
+					work += rowWork(u)
+					if rowWork(u) > maxRow {
+						maxRow = rowWork(u)
+					}
+				}
+				// Each chunk carries at most an even share plus one
+				// indivisible row of slack.
+				if work > total/eff+maxRow+2 {
+					t.Errorf("%s chunks=%d: chunk %d work %d >> share %d",
+						name, chunks, i, work, total/eff)
+				}
+			}
+		}
+	}
+}

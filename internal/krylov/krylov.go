@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/kernel"
 	"ingrass/internal/vecmath"
 )
 
@@ -145,6 +146,16 @@ func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
 	csr := graph.NewCSR(g)
 	rng := vecmath.NewRNG(cfg.Seed)
 
+	// Setup-phase matrix products (the chain walks and the m Rayleigh-Ritz
+	// Laplacian products) dispatch into the persistent kernel pool over an
+	// nnz-balanced partition; both kernels are bit-identical to the serial
+	// CSR products, so the embedding is deterministic for every Workers.
+	kern := kernel.Shared(cfg.Workers)
+	var part []int
+	if kern != nil {
+		part = csr.NNZPartition(kern.Workers())
+	}
+
 	// Lazy-walk application: dst = (x + D^{-1} A x) / 2. Power iterations
 	// of this operator damp high-frequency (high Laplacian eigenvalue)
 	// components, so the orthonormalized chain approximates the low end of
@@ -158,7 +169,7 @@ func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
 		}
 	}
 	apply := func(dst, x []float64) {
-		csr.AdjMul(dst, x)
+		kern.AdjMul(csr, part, dst, x)
 		for i := range dst {
 			dst[i] = 0.5 * (x[i] + dst[i]*invDeg[i])
 		}
@@ -225,7 +236,7 @@ func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
 	lq := make([][]float64, m)
 	for j, q := range basis {
 		lq[j] = make([]float64, n)
-		csr.LapMul(lq[j], q)
+		kern.LapMul(csr, part, lq[j], q)
 	}
 	t := vecmath.NewDense(m, m)
 	for i := 0; i < m; i++ {

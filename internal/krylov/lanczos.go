@@ -58,14 +58,21 @@ func Lanczos(ctx context.Context, op sparse.Operator, k int, seed uint64) (*Lanc
 		op.Apply(w, v)
 		a := vecmath.Dot(v, w)
 		alpha = append(alpha, a)
-		// w -= a*v + beta_{j-1} * v_{j-1}; then full reorthogonalization.
-		vecmath.AXPY(w, -a, v)
+		// Three-term recurrence w -= a*v + beta_{j-1} * v_{j-1} in a single
+		// fused pass, then full reorthogonalization with each projection's
+		// AXPY folded into the next basis vector's dot product (AXPYDot):
+		// the dominant O(k^2 n) reorthogonalization cost drops from two
+		// passes per basis vector to one.
 		if j > 0 {
-			vecmath.AXPY(w, -beta[j-1], basis[j-1])
+			vecmath.AXPYPair(w, -a, v, -beta[j-1], basis[j-1])
+		} else {
+			vecmath.AXPY(w, -a, v)
 		}
-		for _, u := range basis {
-			vecmath.ProjectOut(w, u)
+		c := vecmath.Dot(basis[0], w)
+		for i := 0; i+1 < len(basis); i++ {
+			c = vecmath.AXPYDot(w, -c, basis[i], basis[i+1])
 		}
+		vecmath.AXPY(w, -c, basis[len(basis)-1])
 		vecmath.ProjectOutOnes(w)
 		b := vecmath.Normalize(w)
 		if b < 1e-12 {

@@ -31,7 +31,9 @@ type Options struct {
 	// (1 - |<x_k, x_{k-1}>|). Default 1e-6.
 	Tol float64
 	// Solver configures the inner solves (tolerance default 1e-6) and
-	// Laplacian-product parallelism (Solver.Workers).
+	// Laplacian-product parallelism (Solver.Workers, frozen into the
+	// solver's persistent kernel pool for the whole inverse power
+	// iteration).
 	Solver solver.Options
 	// Seed drives the random start vector.
 	Seed uint64

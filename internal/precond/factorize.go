@@ -42,7 +42,7 @@ func Factorize(h *graph.Graph, opts solver.Options) (*Factorization, error) {
 		return nil, fmt.Errorf("precond: empty sparsifier")
 	}
 	hop := sparse.NewLapOperator(h)
-	hop.Workers = opts.Workers
+	hop.SetWorkers(opts.Workers)
 	f := &Factorization{
 		n:    h.NumNodes(),
 		hop:  hop,
@@ -115,6 +115,6 @@ func (f *Factorization) Solve(ctx context.Context, sys sparse.Operator, x, b []f
 // repeated systems.
 func (f *Factorization) SolveGraph(ctx context.Context, g *graph.Graph, x, b []float64, opts solver.Options) (SolveResult, error) {
 	gop := sparse.NewLapOperator(g)
-	gop.Workers = f.opts.Override(opts).Workers
+	gop.SetWorkers(f.opts.Override(opts).Workers)
 	return f.Solve(ctx, gop, x, b, opts)
 }

@@ -40,7 +40,10 @@ type Exact struct {
 
 // NewExact builds the exact oracle. g must be connected for meaningful
 // answers. A zero opts.Tol defaults to 1e-10 (tighter than the general
-// solver default: this is the validation oracle).
+// solver default: this is the validation oracle). opts.Workers freezes the
+// solver's kernel-pool parallelism (clamped to GOMAXPROCS); repeated
+// queries reuse the frozen operator, so warm parallel queries stay
+// allocation-free.
 func NewExact(g *graph.Graph, opts solver.Options) *Exact {
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-10

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"ingrass/internal/kernel"
+	"ingrass/internal/solver"
+	"ingrass/internal/vecmath"
+)
+
+// withProcs widens GOMAXPROCS for one test so worker counts above this
+// machine's core count survive the kernel pool's clamp and the parallel
+// dispatch path genuinely runs.
+func withProcs(t testing.TB, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestWarmSolveAllocationFreeParallel extends the allocation-regression
+// gate to parallel solves — impossible before the persistent kernel pool,
+// when every parallel SpMV spawned goroutines and a channel (the reason
+// Workers > 1 was excluded from the 0-alloc gate). With the pool, a warm
+// Workers=4 solve must allocate exactly as much as a serial one: nothing.
+//
+// The 60x60 grid is deliberate: its SpMV work (~21k) exceeds
+// kernel.SpMVCutover, so every Laplacian product in the solve genuinely
+// dispatches into the pool — on a smaller graph the cutover would route
+// everything through the serial bypass and this gate would assert nothing
+// about the parallel path. (The pooled vector kernels' own zero-alloc gate
+// lives in internal/kernel, which drives them directly above VecCutover.)
+func TestWarmSolveAllocationFreeParallel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are not meaningful")
+	}
+	withProcs(t, 4)
+	e := newEngine(t, 60, 60, Options{Solver: solver.Options{Workers: 4}})
+	snap := e.Current()
+	n := snap.G.NumNodes()
+	if work := snap.G.NumEdges()*2 + 2*n; work < kernel.SpMVCutover {
+		t.Fatalf("gate graph too small to dispatch into the pool: work %d < cutover %d",
+			work, kernel.SpMVCutover)
+	}
+	rhs := warmRHS(n)
+	x := make([]float64, n)
+	ctx := context.Background()
+	opts := solver.Options{Tol: 1e-8}
+
+	for i := 0; i < 3; i++ {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1.0 {
+		t.Fatalf("warm parallel SolveInto allocates %.2f objects/op, want ~0", allocs)
+	}
+}
+
+// TestParallelSolveSharedPoolHammer drives 16 concurrent solves through
+// one snapshot whose factorization dispatches into a single shared kernel
+// pool, under -race in CI. Every solve must converge to the right answer:
+// cross-talk between fork-join operations (a worker finishing one solve's
+// SpMV while another solve publishes) would corrupt residuals long before
+// the race detector fires.
+func TestParallelSolveSharedPoolHammer(t *testing.T) {
+	withProcs(t, 4)
+	// Above kernel.SpMVCutover, so the solves genuinely share pooled
+	// dispatch (see TestWarmSolveAllocationFreeParallel); few iterations
+	// because each solve at this size is substantial.
+	e := newEngine(t, 60, 60, Options{Solver: solver.Options{Workers: 4}})
+	snap := e.Current()
+	n := snap.G.NumNodes()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rhs := make([]float64, n)
+			x := make([]float64, n)
+			lx := make([]float64, n)
+			for it := 0; it < 2; it++ {
+				for i := range rhs {
+					rhs[i] = math.Sin(float64(i*(id+3) + it))
+				}
+				vecmath.CenterMean(rhs)
+				st, err := snap.SolveInto(ctx, x, rhs, solver.Options{Tol: 1e-6})
+				if err != nil || !st.Converged {
+					t.Errorf("goroutine %d iter %d: err=%v converged=%v", id, it, err, st.Converged)
+					return
+				}
+				snap.G.LapMul(lx, x)
+				vecmath.Sub(lx, lx, rhs)
+				if vecmath.Norm2(lx) > 1e-4*vecmath.Norm2(rhs) {
+					t.Errorf("goroutine %d iter %d: residual %g — kernel pool cross-talk?",
+						id, it, vecmath.Norm2(lx))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -51,7 +51,7 @@ func (s *Snapshot) ensureFactorized() error {
 	s.once.Do(func() {
 		first = true
 		gop := sparse.NewLapOperator(s.G)
-		gop.Workers = s.sopts.Workers
+		gop.SetWorkers(s.sopts.Workers)
 		s.gop = gop
 		s.proj = &sparse.ProjectedOperator{Inner: gop}
 		s.fact, s.factErr = precond.Factorize(s.H, s.sopts)

@@ -63,24 +63,30 @@ func CG(ctx context.Context, a Operator, x, b []float64, pre Preconditioner, ws 
 	p := ws.Take()
 	ap := ws.Take()
 
+	// Fused vector kernels run on the operator's persistent worker pool when
+	// it has one (nil dispatches serially).
+	kp := KernelsOf(a)
+
 	// r = b - A x
 	a.Apply(r, x)
 	vecmath.Sub(r, b, r)
 
-	applyPrecond := func(dst, src []float64) {
-		if pre != nil {
-			pre.Precond(dst, src)
-		} else {
-			copy(dst, src)
-		}
+	// With no preconditioner z is r itself: skip the copy passes entirely
+	// and fold the z'r product into the residual norm.
+	var rz, rnSq float64
+	if pre != nil {
+		pre.Precond(z, r)
+		rz, rnSq = kp.DotNorm(z, r)
+	} else {
+		z = r
+		rnSq = kp.Dot(r, r)
+		rz = rnSq
 	}
-
-	applyPrecond(z, r)
 	copy(p, z)
-	rz := vecmath.Dot(r, z)
 
-	res := CGResult{Residual: vecmath.Norm2(r) / normB}
-	if vecmath.Norm2(r) <= target {
+	rn := math.Sqrt(rnSq)
+	res := CGResult{Residual: rn / normB}
+	if rn <= target {
 		res.Converged = true
 		return res, nil
 	}
@@ -90,19 +96,19 @@ func CG(ctx context.Context, a Operator, x, b []float64, pre Preconditioner, ws 
 			return res, err
 		}
 		a.Apply(ap, p)
-		pap := vecmath.Dot(p, ap)
+		pap := kp.Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			// Negative curvature or breakdown: the operator is not SPD on
 			// this subspace (or we've hit the null space numerically).
 			res.Iterations = k
-			res.Residual = vecmath.Norm2(r) / normB
+			res.Residual = math.Sqrt(rnSq) / normB
 			return res, fmt.Errorf("sparse: CG breakdown, p'Ap = %g at iteration %d", pap, k)
 		}
 		alpha := rz / pap
-		vecmath.AXPY(x, alpha, p)
-		vecmath.AXPY(r, -alpha, ap)
-
-		rn := vecmath.Norm2(r)
+		// One pass updates the iterate and residual and yields the new
+		// residual norm (previously two AXPYs plus a Norm2).
+		rnSq = kp.AXPY2(x, r, alpha, p, ap)
+		rn := math.Sqrt(rnSq)
 		res.Iterations = k + 1
 		res.Residual = rn / normB
 		if rn <= target {
@@ -110,13 +116,16 @@ func CG(ctx context.Context, a Operator, x, b []float64, pre Preconditioner, ws 
 			return res, nil
 		}
 
-		applyPrecond(z, r)
-		rzNew := vecmath.Dot(r, z)
+		var rzNew float64
+		if pre != nil {
+			pre.Precond(z, r)
+			rzNew = kp.Dot(r, z)
+		} else {
+			rzNew = rnSq // z aliases r, so z'r is the squared norm just computed
+		}
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		kp.XPBYInto(p, z, beta)
 	}
 	return res, ErrNoConvergence
 }

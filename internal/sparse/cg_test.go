@@ -249,7 +249,7 @@ func TestLapOperatorParallelAgrees(t *testing.T) {
 	g := gridGraph(40, 40)
 	serial := NewLapOperator(g)
 	parallel := NewLapOperator(g)
-	parallel.Workers = 4
+	parallel.SetWorkers(4)
 	x := make([]float64, g.NumNodes())
 	vecmath.NewRNG(8).FillNormal(x)
 	a := make([]float64, len(x))

@@ -48,10 +48,11 @@ func FlexibleCG(ctx context.Context, a Operator, x, b []float64, pre Preconditio
 	mark := ws.Mark()
 	defer ws.Release(mark)
 	r := ws.Take()
-	rPrev := ws.Take()
 	z := ws.Take()
 	p := ws.Take()
 	ap := ws.Take()
+
+	kp := KernelsOf(a)
 
 	a.Apply(r, x)
 	vecmath.Sub(r, b, r)
@@ -66,10 +67,11 @@ func FlexibleCG(ctx context.Context, a Operator, x, b []float64, pre Preconditio
 
 	apply(z, r)
 	copy(p, z)
-	zr := vecmath.Dot(z, r)
+	zr, rnSq := kp.DotNorm(z, r)
 
-	res := CGResult{Residual: vecmath.Norm2(r) / normB}
-	if vecmath.Norm2(r) <= target {
+	rn := math.Sqrt(rnSq)
+	res := CGResult{Residual: rn / normB}
+	if rn <= target {
 		res.Converged = true
 		return res, nil
 	}
@@ -79,10 +81,10 @@ func FlexibleCG(ctx context.Context, a Operator, x, b []float64, pre Preconditio
 			return res, err
 		}
 		a.Apply(ap, p)
-		pap := vecmath.Dot(p, ap)
+		pap := kp.Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			res.Iterations = k
-			res.Residual = vecmath.Norm2(r) / normB
+			res.Residual = math.Sqrt(rnSq) / normB
 			// A cancellation landing inside an iterative preconditioner
 			// leaves a zero/degenerate direction; report the cancellation,
 			// not a spurious breakdown.
@@ -92,11 +94,11 @@ func FlexibleCG(ctx context.Context, a Operator, x, b []float64, pre Preconditio
 			return res, fmt.Errorf("sparse: FlexibleCG breakdown, p'Ap = %g at iteration %d", pap, k)
 		}
 		alpha := zr / pap
-		vecmath.AXPY(x, alpha, p)
-		copy(rPrev, r)
-		vecmath.AXPY(r, -alpha, ap)
-
-		rn := vecmath.Norm2(r)
+		// Fused paired update: x += alpha*p, r -= alpha*ap, plus the new
+		// residual norm, in one pass (previously two AXPYs, a full copy of
+		// r into rPrev, and a Norm2).
+		rnSq = kp.AXPY2(x, r, alpha, p, ap)
+		rn := math.Sqrt(rnSq)
 		res.Iterations = k + 1
 		res.Residual = rn / normB
 		if rn <= target {
@@ -105,17 +107,16 @@ func FlexibleCG(ctx context.Context, a Operator, x, b []float64, pre Preconditio
 		}
 
 		apply(z, r)
-		// Polak-Ribiere: beta = z'(r - rPrev) / (z_prev' r_prev); the
-		// difference form keeps conjugacy under an inexact preconditioner.
-		var num float64
-		for i := range z {
-			num += z[i] * (r[i] - rPrev[i])
-		}
-		beta := num / zr
+		// Polak-Ribiere: beta = z'(r - rPrev) / (z_prev' r_prev). Since
+		// r - rPrev = -alpha*ap by construction, the difference form reduces
+		// to -alpha * z'ap — which kills the rPrev copy entirely and lets
+		// one fused pass produce both products the update needs.
+		zAp, zrNew := kp.Dot2(z, ap, r)
+		beta := -alpha * zAp / zr
 		if beta < 0 {
 			beta = 0 // restart direction on loss of conjugacy
 		}
-		zr = vecmath.Dot(z, r)
+		zr = zrNew
 		if zr <= 0 || math.IsNaN(zr) {
 			// The preconditioner stopped acting SPD (z'r must be positive
 			// for an SPD-like M^{-1}). A cancelled inner solve also lands
@@ -127,9 +128,7 @@ func FlexibleCG(ctx context.Context, a Operator, x, b []float64, pre Preconditio
 			}
 			return res, fmt.Errorf("sparse: FlexibleCG preconditioner not positive at iteration %d", k)
 		}
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		kp.XPBYInto(p, z, beta)
 	}
 	return res, ErrNoConvergence
 }

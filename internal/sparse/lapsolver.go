@@ -39,7 +39,7 @@ type LaplacianSolver struct {
 // application.
 func NewLaplacianSolver(g *graph.Graph, opts solver.Options) *LaplacianSolver {
 	lop := NewLapOperator(g)
-	lop.Workers = opts.Workers
+	lop.SetWorkers(opts.Workers)
 	return NewLaplacianSolverFromOperator(lop, opts)
 }
 

@@ -12,6 +12,7 @@ package sparse
 
 import (
 	"ingrass/internal/graph"
+	"ingrass/internal/kernel"
 	"ingrass/internal/solver"
 	"ingrass/internal/vecmath"
 )
@@ -64,33 +65,68 @@ func (j *Jacobi) Precond(dst, src []float64) {
 }
 
 // LapOperator wraps a CSR graph view as its Laplacian operator, optionally
-// applying rows in parallel. NewLapOperator also freezes the operator's
-// Jacobi preconditioner and owns the workspace pool that all solves against
-// this operator draw scratch from.
+// applying rows in parallel through a persistent kernel worker pool.
+// NewLapOperator also freezes the operator's Jacobi preconditioner and owns
+// the workspace pool that all solves against this operator draw scratch
+// from.
+//
+// Parallelism is frozen with SetWorkers before the operator is shared:
+// it pins the kernel pool and precomputes the nnz-balanced row partition
+// once, so every subsequent Apply dispatches without allocating and
+// concurrent solves all observe the same degree.
 type LapOperator struct {
-	CSR     *graph.CSR
-	Workers int // <=1 means serial
+	CSR *graph.CSR
+
+	workers int
+	kern    *kernel.Pool // nil when serial
+	part    []int        // nnz-balanced row partition, len kern.Workers()+1
 
 	jac  *Jacobi
 	pool *solver.Pool
 }
 
-// NewLapOperator freezes g and returns its Laplacian operator.
+// NewLapOperator freezes g and returns its (serial) Laplacian operator.
+// Call SetWorkers before sharing it to enable parallel application.
 func NewLapOperator(g *graph.Graph) *LapOperator {
 	csr := graph.NewCSR(g)
 	return &LapOperator{CSR: csr, jac: NewJacobi(csr.Degree), pool: solver.NewPool(csr.N)}
 }
 
+// SetWorkers freezes the operator's parallelism degree: it resolves the
+// shared kernel pool for the (GOMAXPROCS-clamped) count and precomputes the
+// nnz-balanced row partition the pooled SpMV dispatches over. workers <= 1
+// keeps the operator serial. Must be called before the operator is shared
+// across goroutines; the frozen-Workers contract (solver.Options.Workers)
+// exists exactly so this never races with a solve.
+func (l *LapOperator) SetWorkers(workers int) {
+	l.kern = kernel.Shared(workers)
+	l.workers = l.kern.Workers()
+	if l.kern != nil {
+		l.part = l.CSR.NNZPartition(l.workers)
+	} else {
+		l.part = nil
+	}
+}
+
+// WorkerCount reports the frozen effective parallelism degree (1 = serial).
+func (l *LapOperator) WorkerCount() int {
+	if l.workers < 1 {
+		return 1
+	}
+	return l.workers
+}
+
+// Kernels returns the operator's kernel pool (nil when serial), letting the
+// iterative solvers run their fused vector kernels on the same workers.
+func (l *LapOperator) Kernels() *kernel.Pool { return l.kern }
+
 // Dim returns the node count.
 func (l *LapOperator) Dim() int { return l.CSR.N }
 
-// Apply computes dst = L x.
+// Apply computes dst = L x, through the kernel pool when the operator was
+// frozen parallel and the product is above the serial cutover.
 func (l *LapOperator) Apply(dst, x []float64) {
-	if l.Workers > 1 {
-		l.CSR.LapMulParallel(dst, x, l.Workers)
-		return
-	}
-	l.CSR.LapMul(dst, x)
+	l.kern.LapMul(l.CSR, l.part, dst, x)
 }
 
 // Diagonal returns the Laplacian diagonal (weighted degrees), which the
@@ -105,6 +141,24 @@ func (l *LapOperator) Jacobi() *Jacobi { return l.jac }
 // confined to one solve call tree.
 func (l *LapOperator) Workspaces() *solver.Pool { return l.pool }
 
+// KernelHost is implemented by operators that carry a persistent kernel
+// worker pool. The iterative solvers probe for it so their fused vector
+// kernels run on the same workers as the operator's SpMV; a nil pool (or an
+// operator without one) means serial kernels.
+type KernelHost interface {
+	Kernels() *kernel.Pool
+}
+
+// KernelsOf returns the kernel pool behind op (ProjectedOperator forwards
+// to its inner operator via its own Kernels method), or nil for operators
+// without one.
+func KernelsOf(op Operator) *kernel.Pool {
+	if h, ok := op.(KernelHost); ok {
+		return h.Kernels()
+	}
+	return nil
+}
+
 // ProjectedOperator wraps an operator with pre/post projection onto the
 // complement of the all-ones vector, making a singular Laplacian behave as
 // a definite operator on its range. All CG solves against Laplacians go
@@ -115,6 +169,9 @@ type ProjectedOperator struct {
 
 // Dim returns the inner dimension.
 func (p *ProjectedOperator) Dim() int { return p.Inner.Dim() }
+
+// Kernels forwards the inner operator's kernel pool, if any.
+func (p *ProjectedOperator) Kernels() *kernel.Pool { return KernelsOf(p.Inner) }
 
 // Apply computes dst = P A P x where P = I - 11'/n.
 func (p *ProjectedOperator) Apply(dst, x []float64) {

@@ -11,12 +11,12 @@ func OrthonormalizeMGS(vectors [][]float64, dropTol float64) [][]float64 {
 	kept := vectors[:0]
 	for _, v := range vectors {
 		for _, u := range kept {
-			AXPY(v, -Dot(u, v), u)
+			ProjectOut(v, u)
 		}
 		// A second projection pass ("twice is enough") restores
 		// orthogonality lost to cancellation on ill-conditioned inputs.
 		for _, u := range kept {
-			AXPY(v, -Dot(u, v), u)
+			ProjectOut(v, u)
 		}
 		if Norm2(v) <= dropTol {
 			continue

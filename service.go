@@ -3,6 +3,7 @@ package ingrass
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"ingrass/internal/core"
@@ -56,7 +57,12 @@ type ServiceOptions struct {
 	RetainSnapshots int
 	// Solve is the engine-level default solve option set (tolerances,
 	// iteration budgets, inner-solve knobs). Per-request SolveOptions
-	// override it field-wise; Workers defaults to Options.Workers.
+	// override it field-wise; Workers defaults to Options.Workers and,
+	// when that is unset too, to GOMAXPROCS: per-snapshot factorizations
+	// freeze the (clamped) count and dispatch into a persistent kernel
+	// worker pool, so parallel solves are the allocation-free default
+	// rather than an opt-in. Set Solve.Workers to 1 to force serial
+	// solves.
 	Solve SolveOptions
 
 	// DataDir, when non-empty, makes the service durable: every applied
@@ -87,6 +93,12 @@ func (o ServiceOptions) engineOptions(sopts SolveOptions) service.Options {
 	s := sopts.internal()
 	if s.Workers <= 0 {
 		s.Workers = o.Options.normalized().Workers
+	}
+	if s.Workers <= 0 {
+		// Parallel solves are the default: the persistent kernel pool
+		// clamps to GOMAXPROCS and keeps the warm path allocation-free, so
+		// there is no longer a reason to default to serial.
+		s.Workers = runtime.GOMAXPROCS(0)
 	}
 	return service.Options{
 		MaxBatch:      o.MaxBatch,

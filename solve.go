@@ -26,10 +26,14 @@ type SolveOptions struct {
 	// InnerIters caps inner iterations per preconditioner application.
 	// Default 25.
 	InnerIters int
-	// Workers bounds goroutines for parallel Laplacian application. It is
-	// honored where an operator is built for this call (SolveLaplacian) and
-	// ignored on shared, already-frozen factorizations (Service solves),
-	// which is why the HTTP layer does not expose it.
+	// Workers bounds the parallelism of Laplacian application and the fused
+	// CG vector kernels; the count is clamped to GOMAXPROCS and dispatches
+	// into a persistent worker pool (internal/kernel), so parallel solves
+	// stay allocation-free on the warm path. It is honored where an
+	// operator is built for this call (SolveLaplacian) and ignored on
+	// shared, already-frozen factorizations (Service solves — configure
+	// ServiceOptions.Solve.Workers instead), which is why the HTTP layer
+	// does not expose it.
 	Workers int
 }
 
