@@ -39,6 +39,9 @@ func cmdServe(args []string) {
 	fsyncEvery := fs.Duration("fsync-every", 100*time.Millisecond, "flush interval for -fsync=interval")
 	segmentBytes := fs.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
 	ckptEvery := fs.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval with -data-dir (0 = only on shutdown)")
+	coalesce := fs.Bool("coalesce", true, "coalesce concurrent single solves into blocked multi-RHS executions")
+	batchWindow := fs.Duration("batch-window", 200*time.Microsecond, "coalescing window for the batched query engine")
+	batchMax := fs.Int("batch-max", 8, "widest coalesced block (capped at 16)")
 	_ = fs.Parse(args)
 
 	opts := ingrass.ServiceOptions{
@@ -49,9 +52,14 @@ func cmdServe(args []string) {
 		},
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flushEvery,
-		DataDir:       *dataDir,
-		FsyncEvery:    *fsyncEvery,
-		SegmentBytes:  *segmentBytes,
+		Batch: ingrass.BatchOptions{
+			Window:          *batchWindow,
+			MaxBlock:        *batchMax,
+			CoalesceSingles: *coalesce,
+		},
+		DataDir:      *dataDir,
+		FsyncEvery:   *fsyncEvery,
+		SegmentBytes: *segmentBytes,
 	}
 	if *dataDir != "" {
 		policy, err := ingrass.ParseFsyncPolicy(*fsyncMode)
@@ -140,6 +148,9 @@ func cmdServe(args []string) {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = server.Shutdown(shutCtx)
+		bs := svc.Stats()
+		fmt.Printf("batched query engine: %d batches formed, %d requests coalesced, avg block fill %.2f, queue depth %d\n",
+			bs.BatchesFormed, bs.RequestsCoalesced, bs.AvgBlockFill, bs.BatchQueueDepth)
 		if *dataDir != "" {
 			if gen, err := svc.Checkpoint(); err != nil {
 				fmt.Fprintf(os.Stderr, "ingrass: final checkpoint: %v\n", err)
@@ -178,8 +189,90 @@ type solveResponse struct {
 	Stats ingrass.SolveStats `json:"stats"`
 }
 
+// batchSolveRequest carries many right-hand sides sharing one option set;
+// they execute as blocked multi-RHS solves against one snapshot generation.
+type batchSolveRequest struct {
+	Bs         [][]float64 `json:"bs"`
+	Tol        float64     `json:"tol,omitempty"`
+	MaxIter    int         `json:"max_iter,omitempty"`
+	InnerTol   float64     `json:"inner_tol,omitempty"`
+	InnerIters int         `json:"inner_iters,omitempty"`
+	DeadlineMS int         `json:"deadline_ms,omitempty"`
+}
+
+// batchSolveItem is one right-hand side's outcome; X is omitted when the
+// column failed (Error set).
+type batchSolveItem struct {
+	X     []float64          `json:"x,omitempty"`
+	Stats ingrass.SolveStats `json:"stats"`
+	Error string             `json:"error,omitempty"`
+}
+
+type batchSolveResponse struct {
+	Results    []batchSolveItem `json:"results"`
+	Generation uint64           `json:"generation"`
+}
+
+type batchResistanceRequest struct {
+	Pairs []edgeJSON `json:"pairs"` // w ignored
+}
+
+type batchResistanceItem struct {
+	U          int     `json:"u"`
+	V          int     `json:"v"`
+	Resistance float64 `json:"resistance"`
+	Error      string  `json:"error,omitempty"`
+}
+
+type batchResistanceResponse struct {
+	Results    []batchResistanceItem `json:"results"`
+	Generation uint64                `json:"generation"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// fieldError is the structured 400 body for request-validation failures:
+// the offending field and a machine-matchable reason alongside the human
+// message.
+type fieldError struct {
+	Error  string `json:"error"`
+	Field  string `json:"field"`
+	Reason string `json:"reason"`
+}
+
+// Validation reasons (fieldError.Reason).
+const (
+	reasonMissing        = "missing"
+	reasonNotAnInteger   = "not_an_integer"
+	reasonOutOfRange     = "out_of_range"
+	reasonEqualEndpoints = "equal_endpoints"
+)
+
+func writeFieldError(w http.ResponseWriter, field, reason, msg string) {
+	writeJSON(w, http.StatusBadRequest, fieldError{Error: msg, Field: field, Reason: reason})
+}
+
+// parseEndpoint validates one resistance endpoint query parameter: present,
+// an integer, and within [0, n). A false return means the 400 has been
+// written.
+func parseEndpoint(w http.ResponseWriter, r *http.Request, field string, n int) (int, bool) {
+	raw := r.URL.Query().Get(field)
+	if raw == "" {
+		writeFieldError(w, field, reasonMissing, fmt.Sprintf("query parameter %q is required", field))
+		return 0, false
+	}
+	val, err := strconv.Atoi(raw)
+	if err != nil {
+		writeFieldError(w, field, reasonNotAnInteger, fmt.Sprintf("query parameter %q = %q is not an integer", field, raw))
+		return 0, false
+	}
+	if val < 0 || val >= n {
+		writeFieldError(w, field, reasonOutOfRange, fmt.Sprintf("query parameter %q = %d out of range [0, %d)", field, val, n))
+		return 0, false
+	}
+	return val, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -218,11 +311,17 @@ func solveStatus(err error) int {
 //
 //	POST   /edges       {"edges":[{"u":0,"v":1,"w":1.0}]}  insert a batch
 //	DELETE /edges       {"edges":[{"u":0,"v":1}]}          delete a batch
-//	POST   /solve       {"b":[...], "tol":1e-8}            Laplacian solve
-//	GET    /sparsifier  ?gen=&format=text|json             export H
-//	GET    /resistance  ?u=&v=                             effective resistance
-//	GET    /stats                                          engine counters
+//	POST   /solve            {"b":[...], "tol":1e-8}       Laplacian solve
+//	POST   /solve/batch      {"bs":[[...],...], "tol":..}  blocked multi-RHS solve
+//	GET    /sparsifier       ?gen=&format=text|json        export H
+//	GET    /resistance       ?u=&v=                        effective resistance
+//	POST   /resistance/batch {"pairs":[{"u":0,"v":5},..]}  blocked resistance sweep
+//	GET    /stats                                          engine + scheduler counters
 //	GET    /healthz                                        liveness
+//
+// Concurrent single POST /solve requests against the same generation are
+// transparently coalesced into blocked multi-RHS executions when the
+// service was started with -coalesce (the default).
 func newServeMux(svc *ingrass.Service) *http.ServeMux {
 	mux := http.NewServeMux()
 
@@ -348,10 +447,18 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 	})
 
 	mux.HandleFunc("GET /resistance", func(w http.ResponseWriter, r *http.Request) {
-		u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
-		v, err2 := strconv.Atoi(r.URL.Query().Get("v"))
-		if err1 != nil || err2 != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("u and v query parameters required"))
+		n := svc.NumNodes()
+		u, ok := parseEndpoint(w, r, "u", n)
+		if !ok {
+			return
+		}
+		v, ok := parseEndpoint(w, r, "v", n)
+		if !ok {
+			return
+		}
+		if u == v {
+			writeFieldError(w, "v", reasonEqualEndpoints,
+				fmt.Sprintf("u and v are both %d; resistance of a node to itself is trivially 0", u))
 			return
 		}
 		res, gen, err := svc.EffectiveResistance(r.Context(), u, v)
@@ -362,6 +469,74 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"u": u, "v": v, "resistance": res, "generation": gen,
 		})
+	})
+
+	// Batch endpoints: many queries, one snapshot generation, blocked
+	// multi-RHS execution underneath.
+	mux.HandleFunc("POST /solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchSolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if len(req.Bs) == 0 {
+			writeFieldError(w, "bs", reasonMissing, "no right-hand sides in request")
+			return
+		}
+		ctx := r.Context()
+		if req.DeadlineMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+			defer cancel()
+		}
+		results, gen, err := svc.SolveBatch(ctx, req.Bs, ingrass.SolveOptions{
+			Tol:        req.Tol,
+			MaxIter:    req.MaxIter,
+			InnerTol:   req.InnerTol,
+			InnerIters: req.InnerIters,
+		})
+		if err != nil {
+			writeError(w, solveStatus(err), err)
+			return
+		}
+		items := make([]batchSolveItem, len(results))
+		for i, res := range results {
+			items[i] = batchSolveItem{X: res.X, Stats: res.Stats}
+			if res.Err != nil {
+				items[i].Error = res.Err.Error()
+				items[i].X = nil
+			}
+		}
+		writeJSON(w, http.StatusOK, batchSolveResponse{Results: items, Generation: gen})
+	})
+
+	mux.HandleFunc("POST /resistance/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchResistanceRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if len(req.Pairs) == 0 {
+			writeFieldError(w, "pairs", reasonMissing, "no pairs in request")
+			return
+		}
+		pairs := make([]ingrass.Pair, len(req.Pairs))
+		for i, p := range req.Pairs {
+			pairs[i] = ingrass.Pair{U: p.U, V: p.V}
+		}
+		results, gen, err := svc.EffectiveResistanceBatch(r.Context(), pairs)
+		if err != nil {
+			writeError(w, solveStatus(err), err)
+			return
+		}
+		items := make([]batchResistanceItem, len(results))
+		for i, res := range results {
+			items[i] = batchResistanceItem{U: res.U, V: res.V, Resistance: res.Resistance}
+			if res.Err != nil {
+				items[i].Error = res.Err.Error()
+			}
+		}
+		writeJSON(w, http.StatusOK, batchResistanceResponse{Results: items, Generation: gen})
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,255 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ingrass/internal/solver"
+)
+
+// recorder is a test Runner that records the groups it executes.
+type recorder struct {
+	mu     sync.Mutex
+	groups [][]*Req
+	block  chan struct{} // if non-nil, each run waits on it
+}
+
+func (rc *recorder) run(target string, reqs []*Req) {
+	if rc.block != nil {
+		<-rc.block
+	}
+	rc.mu.Lock()
+	rc.groups = append(rc.groups, reqs)
+	rc.mu.Unlock()
+	for _, r := range reqs {
+		r.Iterations = len(reqs) // marker: group width
+	}
+}
+
+func (rc *recorder) widths() []int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]int, len(rc.groups))
+	for i, g := range rc.groups {
+		out[i] = len(g)
+	}
+	return out
+}
+
+func submitWait(t *testing.T, s *Scheduler[string], gen uint64, r *Req, solo bool) {
+	t.Helper()
+	if r.Ctx == nil {
+		r.Ctx = context.Background()
+	}
+	if err := s.Submit(r.Ctx, gen, "target", r, solo); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+}
+
+// TestCoalescesWithinWindow: requests submitted inside one window against
+// one generation share a group.
+func TestCoalescesWithinWindow(t *testing.T) {
+	rc := &recorder{}
+	s := New(Options{Window: 20 * time.Millisecond, MaxBlock: 8}, rc.run)
+	defer s.Close()
+	reqs := make([]*Req, 4)
+	for i := range reqs {
+		reqs[i] = &Req{Ctx: context.Background()}
+		submitWait(t, s, 7, reqs[i], false)
+	}
+	for _, r := range reqs {
+		if err := r.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if r.Iterations != 4 {
+			t.Fatalf("request ran in width-%d group, want 4", r.Iterations)
+		}
+		if r.Gen() != 7 {
+			t.Fatalf("request gen %d, want 7", r.Gen())
+		}
+	}
+	if w := rc.widths(); len(w) != 1 || w[0] != 4 {
+		t.Fatalf("groups %v, want [4]", w)
+	}
+	v := s.Stats()
+	if v.BatchesFormed != 1 || v.ColumnsTotal != 4 || v.RequestsCoalesced != 4 || v.QueueDepth != 0 {
+		t.Fatalf("stats %+v", v)
+	}
+	if v.AvgBlockFill() != 4 {
+		t.Fatalf("fill %v, want 4", v.AvgBlockFill())
+	}
+}
+
+// TestSealsAtMaxBlock: the size bound seals a group immediately, without
+// waiting for the window.
+func TestSealsAtMaxBlock(t *testing.T) {
+	rc := &recorder{}
+	s := New(Options{Window: time.Hour, MaxBlock: 3}, rc.run)
+	defer s.Close()
+	reqs := make([]*Req, 3)
+	for i := range reqs {
+		reqs[i] = &Req{Ctx: context.Background()}
+		submitWait(t, s, 1, reqs[i], false)
+	}
+	for _, r := range reqs {
+		if err := r.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := rc.widths(); len(w) != 1 || w[0] != 3 {
+		t.Fatalf("groups %v, want [3] despite infinite window", w)
+	}
+}
+
+// TestGenerationsNeverMix: same-window requests against different
+// generations form distinct groups — the group-never-spans-generations
+// invariant.
+func TestGenerationsNeverMix(t *testing.T) {
+	rc := &recorder{}
+	s := New(Options{Window: 10 * time.Millisecond, MaxBlock: 8}, rc.run)
+	defer s.Close()
+	var reqs []*Req
+	for i := 0; i < 6; i++ {
+		r := &Req{Ctx: context.Background()}
+		reqs = append(reqs, r)
+		submitWait(t, s, uint64(i%2), r, false)
+	}
+	for _, r := range reqs {
+		if err := r.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if len(rc.groups) != 2 {
+		t.Fatalf("%d groups, want 2 (one per generation)", len(rc.groups))
+	}
+	for _, g := range rc.groups {
+		gen := g[0].Gen()
+		for _, r := range g {
+			if r.Gen() != gen {
+				t.Fatalf("group mixes generations %d and %d", gen, r.Gen())
+			}
+		}
+	}
+}
+
+// TestSoloBypassesCoalescing: a solo request never shares a group, even
+// with an open group of its generation.
+func TestSoloBypassesCoalescing(t *testing.T) {
+	rc := &recorder{}
+	s := New(Options{Window: 20 * time.Millisecond, MaxBlock: 8}, rc.run)
+	defer s.Close()
+	open := &Req{Ctx: context.Background()}
+	submitWait(t, s, 3, open, false)
+	solo := &Req{Ctx: context.Background(), Opts: solver.Options{Tol: 1e-3}}
+	submitWait(t, s, 3, solo, true)
+	if err := solo.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if solo.Iterations != 1 {
+		t.Fatalf("solo request ran in width-%d group", solo.Iterations)
+	}
+	if err := open.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Stats()
+	if v.RequestsCoalesced != 0 {
+		t.Fatalf("stats count solo/width-1 requests as coalesced: %+v", v)
+	}
+}
+
+// TestQueueBoundBlocksAndCancels: a full admission queue blocks Submit
+// until the submitter's context expires.
+func TestQueueBoundBlocksAndCancels(t *testing.T) {
+	rc := &recorder{block: make(chan struct{})}
+	s := New(Options{Window: time.Microsecond, MaxBlock: 1, QueueCap: 1, Workers: 1}, rc.run)
+	// Unblock the executor before Close waits for it (defers run LIFO).
+	defer s.Close()
+	defer close(rc.block)
+	// First request occupies the single queue slot (its group may start
+	// executing and park on rc.block).
+	first := &Req{Ctx: context.Background()}
+	submitWait(t, s, 1, first, false)
+	// Give it a moment to seal+dispatch so the slot state settles either
+	// way; the queue stays at capacity until execution starts.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	filled := false
+	for !filled {
+		r := &Req{Ctx: ctx}
+		err := s.Submit(ctx, 1, "t", r, false)
+		if errors.Is(err, context.DeadlineExceeded) {
+			filled = true
+		} else if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+}
+
+// TestCloseFailsPending: Close fails queued requests with ErrClosed and
+// rejects later submissions.
+func TestCloseFailsPending(t *testing.T) {
+	rc := &recorder{block: make(chan struct{})}
+	s := New(Options{Window: time.Hour, MaxBlock: 8, Workers: 1}, rc.run)
+	pending := &Req{Ctx: context.Background()}
+	submitWait(t, s, 1, pending, false)
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	if err := pending.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(pending.Err, ErrClosed) {
+		t.Fatalf("pending request err %v, want ErrClosed", pending.Err)
+	}
+	close(rc.block)
+	<-done
+	if err := s.Submit(context.Background(), 1, "t", &Req{Ctx: context.Background()}, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Submit: %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSubmitters hammers Submit from many goroutines across
+// generations; every request must complete exactly once with its own
+// generation.
+func TestConcurrentSubmitters(t *testing.T) {
+	var ran atomic.Int64
+	s := New(Options{Window: 200 * time.Microsecond, MaxBlock: 4}, func(target string, reqs []*Req) {
+		ran.Add(int64(len(reqs)))
+	})
+	defer s.Close()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 25
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r := &Req{Ctx: context.Background()}
+				if err := s.Submit(context.Background(), uint64(i%3), "t", r, i%5 == 0); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				if err := r.Wait(context.Background()); err != nil {
+					t.Errorf("Wait: %v", err)
+					return
+				}
+				if r.Gen() != uint64(i%3) {
+					t.Errorf("gen %d, want %d", r.Gen(), i%3)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ran.Load() != goroutines*per {
+		t.Fatalf("%d requests executed, want %d", ran.Load(), goroutines*per)
+	}
+	if d := s.Stats().QueueDepth; d != 0 {
+		t.Fatalf("queue depth %d after drain", d)
+	}
+}

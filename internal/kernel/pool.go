@@ -54,6 +54,11 @@ type job struct {
 	dst, x, y, z []float64
 	alpha, beta  float64
 	n            int
+
+	// Multi-vector fields: column blocks and per-column scalars for the
+	// blocked kernels. Slice headers only; assigning them allocates nothing.
+	mdst, mx, my, mz [][]float64
+	mscal            []float64
 }
 
 // pad64 keeps per-worker accumulator slots on distinct cache lines so the
@@ -61,6 +66,14 @@ type job struct {
 type pad64 struct {
 	a, b float64
 	_    [48]byte
+}
+
+// padMulti is the per-worker reduction slot of the multi-vector kernels:
+// one (a, b) accumulator pair per column, padded so adjacent workers' slots
+// never share a cache line.
+type padMulti struct {
+	a, b [graph.MaxMulti]float64
+	_    [64]byte
 }
 
 // worker is the per-goroutine control block, padded to a cache line so a
@@ -88,7 +101,8 @@ type Pool struct {
 	pending atomic.Int32  // workers that have not finished their share
 	finish  chan struct{} // capacity 1; the last finisher signals the join
 
-	partial []pad64 // per-worker reduction slots, len workers
+	partial  []pad64    // per-worker reduction slots, len workers
+	partialM []padMulti // per-worker per-column slots for the multi kernels
 
 	closed atomic.Bool
 	ws     []worker // len workers-1 (the caller is worker 0)
@@ -113,9 +127,10 @@ func clampWorkers(workers int) int {
 func New(workers int) *Pool {
 	workers = clampWorkers(workers)
 	p := &Pool{
-		workers: workers,
-		finish:  make(chan struct{}, 1),
-		partial: make([]pad64, workers),
+		workers:  workers,
+		finish:   make(chan struct{}, 1),
+		partial:  make([]pad64, workers),
+		partialM: make([]padMulti, workers),
 	}
 	// On a single-processor runtime spinning only steals the publisher's
 	// timeslice; park immediately.

@@ -28,6 +28,7 @@ type Factorization struct {
 	proj *sparse.ProjectedOperator
 	opts solver.Options // defaults applied; Workers frozen here
 	sp   statePool
+	bp   blockStatePool // blocked solve states (SolveBlock)
 }
 
 // Factorize freezes the sparsifier h into a reusable preconditioner
@@ -51,6 +52,9 @@ func Factorize(h *graph.Graph, opts solver.Options) (*Factorization, error) {
 	}
 	f.sp.p.New = func() any {
 		return &solveState{f: f, ws: solver.NewWorkspace(f.n)}
+	}
+	f.bp.p.New = func() any {
+		return &blockSolveState{f: f, ws: solver.NewWorkspace(f.n)}
 	}
 	return f, nil
 }

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ingrass/internal/batch"
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
 	"ingrass/internal/solver"
@@ -66,6 +67,11 @@ type Options struct {
 	// (non-zero after recovery, so generation numbers stay aligned with the
 	// checkpoint and WAL records on disk).
 	InitialGeneration uint64
+	// Batch configures the batched query engine: the scheduler that
+	// coalesces concurrent same-generation solve and resistance requests
+	// into blocked multi-RHS executions (window, block size, admission
+	// queue, executor workers).
+	Batch batch.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +99,7 @@ type Engine struct {
 	mu    sync.Mutex // guards sp and snapshot publication
 	reg   *Registry
 	stats Stats
+	sched *batch.Scheduler[*Snapshot]
 
 	// Durability state. walBroken flips on the first failed WAL append and
 	// stays set — a log with a gap must not accept later records, or replay
@@ -140,6 +147,7 @@ func New(sp *core.Sparsifier, opts Options) *Engine {
 	e.stats.generation.Store(e.opts.InitialGeneration)
 	e.stats.lastCheckpoint.Store(e.opts.InitialGeneration)
 	e.reg.Publish(newSnapshot(e.opts.InitialGeneration, sp.G.Snapshot(), sp.H.Snapshot(), &e.stats, e.opts.Solver))
+	e.sched = batch.New(e.opts.Batch, e.execGroup)
 	e.wg.Add(1)
 	go e.run()
 	return e
@@ -211,8 +219,17 @@ func (e *Engine) At(gen uint64) (*Snapshot, bool) { return e.reg.At(gen) }
 // Generations lists the retained snapshot generations, oldest first.
 func (e *Engine) Generations() []uint64 { return e.reg.Generations() }
 
-// Stats returns a copy of the engine counters.
-func (e *Engine) Stats() StatsView { return e.stats.View() }
+// Stats returns a copy of the engine counters, including the batched query
+// engine's scheduler counters.
+func (e *Engine) Stats() StatsView {
+	v := e.stats.View()
+	bv := e.sched.Stats()
+	v.BatchesFormed = bv.BatchesFormed
+	v.RequestsCoalesced = bv.RequestsCoalesced
+	v.AvgBlockFill = bv.AvgBlockFill()
+	v.BatchQueueDepth = bv.QueueDepth
+	return v
+}
 
 // CoreStats returns the underlying sparsifier's cumulative update counters.
 func (e *Engine) CoreStats() core.Stats {
@@ -297,4 +314,5 @@ func (e *Engine) Close() {
 	}
 	close(e.quit)
 	e.wg.Wait()
+	e.sched.Close()
 }

@@ -102,6 +102,49 @@ func (s *Snapshot) SolveInto(ctx context.Context, x, b []float64, opts solver.Op
 	return st, err
 }
 
+// BlockSolveStats reports the group-level outcome of one blocked solve.
+type BlockSolveStats struct {
+	Generation uint64
+	// InnerUses counts blocked preconditioner applications — each one is a
+	// truncated inner solve shared by the whole active column set.
+	InnerUses int
+}
+
+// SolveBlockInto computes x[j] = L_G^+ b[j] for a whole block of right-hand
+// sides in one blocked flexible-CG solve against this snapshot: the CSR
+// structures of G and H are traversed once per iteration for all columns
+// instead of once per column, which is where the batched query engine's
+// throughput comes from. Per-column outcomes land in out; colCtx optionally
+// cancels single columns (masked without aborting the group — see
+// sparse.BlockSpec). Column j's result is bit-identical to an independent
+// SolveInto of b[j] with the same options.
+//
+// Safe for any number of concurrent goroutines; the warm path allocates
+// nothing (the per-call blocked solve state is pooled on the shared
+// factorization). Blocks wider than sparse.MaxBlockWidth are rejected;
+// chunking is the caller's job (the public API chunks transparently).
+func (s *Snapshot) SolveBlockInto(ctx context.Context, xs, bs [][]float64, out []sparse.ColumnResult, colCtx []context.Context, opts solver.Options) (BlockSolveStats, error) {
+	n := s.G.NumNodes()
+	w := len(xs)
+	if len(bs) != w || len(out) != w {
+		return BlockSolveStats{}, fmt.Errorf("service: block widths xs=%d bs=%d out=%d", w, len(bs), len(out))
+	}
+	for j := 0; j < w; j++ {
+		if len(bs[j]) != n || len(xs[j]) != n {
+			return BlockSolveStats{}, fmt.Errorf("service: block column %d dims x=%d b=%d vs %d nodes", j, len(xs[j]), len(bs[j]), n)
+		}
+	}
+	if err := s.ensureFactorized(); err != nil {
+		return BlockSolveStats{}, err
+	}
+	inner, err := s.fact.SolveBlock(ctx, s.proj, xs, bs, out, colCtx, opts)
+	for j := 0; j < w; j++ {
+		s.stats.solves.Add(1)
+		s.stats.solveIters.Add(uint64(out[j].Iterations))
+	}
+	return BlockSolveStats{Generation: s.Gen, InnerUses: inner}, err
+}
+
 // Solve is SolveInto with a freshly allocated solution vector.
 func (s *Snapshot) Solve(ctx context.Context, b []float64, opts solver.Options) ([]float64, SolveStats, error) {
 	if len(b) != s.G.NumNodes() {

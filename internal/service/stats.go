@@ -69,6 +69,16 @@ type StatsView struct {
 	WALErrors         uint64 `json:"wal_errors"`
 	Checkpoints       uint64 `json:"checkpoints"`
 	LastCheckpointGen uint64 `json:"last_checkpoint_gen"`
+	// Batched query engine counters (filled from the scheduler by
+	// Engine.Stats): BatchesFormed counts executed blocked groups,
+	// RequestsCoalesced the requests that shared a group with others,
+	// AvgBlockFill the mean right-hand sides per group, and BatchQueueDepth
+	// the requests admitted but not yet executed. AvgBlockFill near the
+	// configured MaxBlock under load means coalescing is working.
+	BatchesFormed     uint64  `json:"batches_formed"`
+	RequestsCoalesced uint64  `json:"requests_coalesced"`
+	AvgBlockFill      float64 `json:"avg_block_fill"`
+	BatchQueueDepth   int64   `json:"batch_queue_depth"`
 }
 
 // View snapshots the counters.

@@ -64,6 +64,14 @@ func (j *Jacobi) Precond(dst, src []float64) {
 	}
 }
 
+// PrecondBlock applies the diagonal preconditioner column-wise, so Jacobi
+// serves blocked solves (the inner loop of precond.SolveBlock) directly.
+func (j *Jacobi) PrecondBlock(dst, src [][]float64) {
+	for c := range dst {
+		j.Precond(dst[c], src[c])
+	}
+}
+
 // LapOperator wraps a CSR graph view as its Laplacian operator, optionally
 // applying rows in parallel through a persistent kernel worker pool.
 // NewLapOperator also freezes the operator's Jacobi preconditioner and owns
@@ -129,6 +137,14 @@ func (l *LapOperator) Apply(dst, x []float64) {
 	l.kern.LapMul(l.CSR, l.part, dst, x)
 }
 
+// ApplyBlock computes dst[j] = L x[j] for a block of vectors in one CSR
+// traversal (see graph.CSR.LapMulMulti), through the kernel pool when the
+// operator was frozen parallel. Each column is bit-identical to Apply on
+// that column alone.
+func (l *LapOperator) ApplyBlock(dst, x [][]float64) {
+	l.kern.LapMulMulti(l.CSR, l.part, dst, x)
+}
+
 // Diagonal returns the Laplacian diagonal (weighted degrees), which the
 // Jacobi preconditioner consumes.
 func (l *LapOperator) Diagonal() []float64 { return l.CSR.Degree }
@@ -180,6 +196,22 @@ func (p *ProjectedOperator) Apply(dst, x []float64) {
 	// numerical drift accumulating across hundreds of CG iterations.
 	p.Inner.Apply(dst, x)
 	vecmath.CenterMean(dst)
+}
+
+// ApplyBlock is Apply over a block: one inner block application (a single
+// CSR traversal when the inner operator supports it) followed by the
+// per-column projection.
+func (p *ProjectedOperator) ApplyBlock(dst, x [][]float64) {
+	if bo, ok := p.Inner.(BlockOperator); ok {
+		bo.ApplyBlock(dst, x)
+	} else {
+		for j := range dst {
+			p.Inner.Apply(dst[j], x[j])
+		}
+	}
+	for j := range dst {
+		vecmath.CenterMean(dst[j])
+	}
 }
 
 // FuncOperator adapts a closure to the Operator interface; used for

@@ -65,6 +65,13 @@ type ServiceOptions struct {
 	// solves.
 	Solve SolveOptions
 
+	// Batch configures the batched query engine: coalescing window, block
+	// width, admission queue, executor workers, and whether single
+	// Solve/EffectiveResistance calls ride the coalescing scheduler
+	// (CoalesceSingles). Explicit SolveBatch/EffectiveResistanceBatch calls
+	// use the blocked execution path regardless.
+	Batch BatchOptions
+
 	// DataDir, when non-empty, makes the service durable: every applied
 	// write batch is appended to a write-ahead log in this directory before
 	// its generation becomes visible, and Checkpoint persists the full
@@ -106,6 +113,7 @@ func (o ServiceOptions) engineOptions(sopts SolveOptions) service.Options {
 		QueueCapacity: o.QueueCapacity,
 		Retain:        o.RetainSnapshots,
 		Solver:        s,
+		Batch:         o.Batch.internal(),
 	}
 }
 
@@ -117,8 +125,10 @@ func (o ServiceOptions) engineOptions(sopts SolveOptions) service.Options {
 // copy-on-write snapshot whose preconditioner factorization is cached per
 // generation, so repeated solves on an unchanged graph skip setup.
 type Service struct {
-	eng   *service.Engine
-	store *wal.Store // nil without DataDir
+	eng       *service.Engine
+	store     *wal.Store // nil without DataDir
+	batchOpts BatchOptions
+	coalesce  bool // CoalesceSingles: single reads ride the scheduler
 }
 
 // NewService builds the initial sparsifier H(0) of g (as NewIncremental
@@ -178,7 +188,12 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 		}
 		eopts.Store = store
 	}
-	return &Service{eng: service.New(sp, eopts), store: store}, nil
+	return &Service{
+		eng:       service.New(sp, eopts),
+		store:     store,
+		batchOpts: opts.Batch,
+		coalesce:  opts.Batch.CoalesceSingles,
+	}, nil
 }
 
 // LoadService resumes a durable service from ServiceOptions.DataDir:
@@ -207,7 +222,12 @@ func LoadService(opts ServiceOptions) (*Service, error) {
 		store.Close()
 		return nil, fmt.Errorf("ingrass: recover %s: %w", opts.DataDir, err)
 	}
-	return &Service{eng: eng, store: store}, nil
+	return &Service{
+		eng:       eng,
+		store:     store,
+		batchOpts: opts.Batch,
+		coalesce:  opts.Batch.CoalesceSingles,
+	}, nil
 }
 
 // Checkpoint persists the service's full current state to the data
@@ -319,7 +339,23 @@ func (s *Service) DeleteEdges(ctx context.Context, edges []Edge) (WriteResult, e
 // ErrCancelled; ErrNoConvergence reports an exhausted iteration budget.
 // Partial stats accompany both.
 func (s *Service) Solve(ctx context.Context, b []float64, opts SolveOptions) ([]float64, SolveStats, error) {
-	x, st, err := s.eng.Current().Solve(ctx, b, opts.internal())
+	snap := s.eng.Current()
+	if s.coalesce {
+		// Coalesced path: concurrent same-generation solves share one
+		// blocked multi-RHS execution; the answer is bit-identical to the
+		// direct path. On a cancelled wait the solution buffer is withheld —
+		// its column may still be in flight inside the group.
+		if len(b) != snap.G.NumNodes() {
+			return nil, SolveStats{}, fmt.Errorf("ingrass: rhs length %d != %d nodes", len(b), snap.G.NumNodes())
+		}
+		x := make([]float64, len(b))
+		ist, err := s.eng.SolveCoalesced(ctx, snap, x, b, opts.internal())
+		if err != nil && ctx != nil && ctx.Err() != nil && !ist.Converged && ist.Iterations == 0 {
+			x = nil
+		}
+		return x, fromInternalSolveStats(ist), err
+	}
+	x, st, err := snap.Solve(ctx, b, opts.internal())
 	return x, fromInternalSolveStats(st), err
 }
 
@@ -347,6 +383,10 @@ func fromInternalSolveStats(st service.SolveStats) SolveStats {
 // served the query. ctx cancellation aborts the underlying solve.
 func (s *Service) EffectiveResistance(ctx context.Context, u, v int) (float64, uint64, error) {
 	snap := s.eng.Current()
+	if s.coalesce {
+		r, err := s.eng.ResistanceCoalesced(ctx, snap, u, v)
+		return r, snap.Gen, err
+	}
 	r, err := snap.EffectiveResistance(ctx, u, v)
 	return r, snap.Gen, err
 }
@@ -410,6 +450,13 @@ type ServiceStats struct {
 	WALErrors         uint64 `json:"wal_errors"`
 	Checkpoints       uint64 `json:"checkpoints"`
 	LastCheckpointGen uint64 `json:"last_checkpoint_gen"`
+	// Batched query engine counters: blocked groups executed, requests that
+	// shared a group, mean right-hand sides per group, and requests admitted
+	// to the scheduler but not yet executed.
+	BatchesFormed     uint64  `json:"batches_formed"`
+	RequestsCoalesced uint64  `json:"requests_coalesced"`
+	AvgBlockFill      float64 `json:"avg_block_fill"`
+	BatchQueueDepth   int64   `json:"batch_queue_depth"`
 	// Sparsifier state for the current generation.
 	Nodes           int     `json:"nodes"`
 	GraphEdges      int     `json:"graph_edges"`
@@ -441,6 +488,10 @@ func (s *Service) Stats() ServiceStats {
 		WALErrors:         v.WALErrors,
 		Checkpoints:       v.Checkpoints,
 		LastCheckpointGen: v.LastCheckpointGen,
+		BatchesFormed:     v.BatchesFormed,
+		RequestsCoalesced: v.RequestsCoalesced,
+		AvgBlockFill:      v.AvgBlockFill,
+		BatchQueueDepth:   v.BatchQueueDepth,
 		Nodes:             snap.G.NumNodes(),
 		GraphEdges:        snap.G.NumEdges(),
 		SparsifierEdges:   snap.H.NumEdges(),
