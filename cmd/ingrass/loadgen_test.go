@@ -1,0 +1,192 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRunLoadgenEndToEnd drives the full harness against a live test
+// server: the generated schedule executes cleanly, every class reports
+// ops, and the CI smoke gate passes.
+func TestRunLoadgenEndToEnd(t *testing.T) {
+	svc := testService(t)
+	srv := httptest.NewServer(newServeMux(svc))
+	defer srv.Close()
+
+	cfg := loadgenConfig{
+		URL:         srv.URL,
+		Duration:    500 * time.Millisecond,
+		QPS:         200,
+		Clients:     4,
+		Arrival:     "poisson",
+		Mix:         "solve=0.5,resist=0.3,write=0.1,sweep=0.1",
+		SweepK:      4,
+		Zipf:        1.2,
+		Seed:        7,
+		Timeout:     30 * time.Second,
+		MaxInflight: 256,
+		Label:       "test",
+	}
+	rep, err := runLoadgen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("no operations executed")
+	}
+	if rep.Errors != 0 || rep.Timeouts != 0 {
+		t.Fatalf("%d errors, %d timeouts; classes %+v", rep.Errors, rep.Timeouts, rep.Classes)
+	}
+	for _, class := range []string{opClassSolve, opClassResist, opClassWrite, opClassSweep} {
+		cr, ok := rep.Classes[class]
+		if !ok || cr.Ops == 0 {
+			t.Errorf("class %s ran no ops (report %+v)", class, rep.Classes)
+			continue
+		}
+		if cr.OK != cr.Ops {
+			t.Errorf("class %s: %d ok of %d ops", class, cr.OK, cr.Ops)
+		}
+		if !(cr.Latency.P99 > 0) || cr.Latency.Count != cr.OK {
+			t.Errorf("class %s latency digest %+v inconsistent with %d ok", class, cr.Latency, cr.OK)
+		}
+	}
+	if msg := smokeViolation(rep); msg != "" {
+		t.Errorf("smoke gate: %s", msg)
+	}
+
+	// Appending to a fresh SLO file and re-appending must accumulate runs.
+	out := filepath.Join(t.TempDir(), "BENCH_slo.json")
+	if err := appendSLORun(out, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendSLORun(out, rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleDeterminismAndTraceRoundTrip pins the replayability promise:
+// same seed, same schedule; a trace written and read back is identical.
+func TestScheduleDeterminismAndTraceRoundTrip(t *testing.T) {
+	cfg := loadgenConfig{
+		Duration: 2 * time.Second,
+		QPS:      500,
+		Clients:  3,
+		Arrival:  "poisson",
+		Mix:      "solve=0.6,resist=0.2,write=0.1,sweep=0.1",
+		SweepK:   8,
+		Zipf:     1.3,
+		Seed:     42,
+	}
+	a, err := generateSchedule(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generateSchedule(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].AtUS < a[i-1].AtUS {
+			t.Fatalf("schedule not time-sorted at %d", i)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := writeTrace(path, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Fatal("trace round-trip changed the schedule")
+	}
+}
+
+// TestArrivalRates checks both processes offer approximately the target
+// rate: thinning must preserve the mean for bursty arrivals.
+func TestArrivalRates(t *testing.T) {
+	for _, arrival := range []string{"poisson", "bursty"} {
+		cfg := loadgenConfig{
+			Duration:    10 * time.Second,
+			QPS:         500,
+			Clients:     2,
+			Arrival:     arrival,
+			BurstFactor: 4,
+			BurstPeriod: time.Second,
+			BurstDuty:   0.25,
+			Mix:         "solve=1",
+			Seed:        3,
+		}
+		ops, err := generateSchedule(cfg, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cfg.QPS * cfg.Duration.Seconds()
+		got := float64(len(ops))
+		if got < 0.8*want || got > 1.2*want {
+			t.Errorf("%s: %v ops for target %v", arrival, got, want)
+		}
+	}
+}
+
+// TestBurstyScheduleIsActuallyBursty: the peak window of each cycle must
+// hold disproportionately many arrivals.
+func TestBurstyScheduleIsActuallyBursty(t *testing.T) {
+	cfg := loadgenConfig{
+		Duration:    10 * time.Second,
+		QPS:         1000,
+		Clients:     1,
+		Arrival:     "bursty",
+		BurstFactor: 4,
+		BurstPeriod: time.Second,
+		BurstDuty:   0.25,
+		Mix:         "solve=1",
+		Seed:        9,
+	}
+	ops, err := generateSchedule(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := cfg.BurstPeriod.Microseconds()
+	window := int64(cfg.BurstDuty * float64(period))
+	var in int
+	for _, op := range ops {
+		if op.AtUS%period < window {
+			in++
+		}
+	}
+	// Peak window holds duty·factor = all arrivals at factor 4, duty 0.25;
+	// uniform traffic would put only 25% there. Demand well above uniform.
+	if frac := float64(in) / float64(len(ops)); frac < 0.6 {
+		t.Errorf("burst window holds %.0f%% of arrivals; want >60%%", 100*frac)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("solve=0.7,resist=0.2,write=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drawClass(mix, 0.0); got != opClassSolve {
+		t.Errorf("r=0 drew %s", got)
+	}
+	if got := drawClass(mix, 0.95); got != opClassWrite {
+		t.Errorf("r=0.95 drew %s", got)
+	}
+	for _, bad := range []string{"", "solve", "nosuch=1", "solve=-1", "solve=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -71,6 +71,10 @@ func main() {
 		cmdInfo(os.Args[2:])
 	case "bench":
 		cmdBench(os.Args[2:])
+	case "loadgen":
+		cmdLoadgen(os.Args[2:])
+	case "metricslint":
+		cmdMetricsLint(os.Args[2:])
 	default:
 		usage()
 	}
@@ -87,7 +91,9 @@ commands:
   save       initialize a durable data directory from a graph (setup + checkpoint)
   load       recover a data directory; inspect, verify, or export the state
   info       print graph statistics
-  bench      run hot-path microbenchmarks; append a run to BENCH_solve.json`)
+  bench      run hot-path microbenchmarks; append a run to BENCH_solve.json
+  loadgen    drive a serve instance with an open-loop trace workload; report SLOs
+  metricslint  lint a Prometheus text exposition (stdin or -in) for format violations`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"ingrass/internal/obs"
+)
+
+// HTTP-layer observability: every endpoint handler is wrapped in a
+// middleware that records request latency into a per-endpoint histogram and
+// counts responses per (endpoint, status class), all in the service's obs
+// registry — the same registry the engine bridges its counters into, so one
+// GET /metrics scrape covers the full stack.
+//
+// Both label vocabularies are closed: endpoints come from the fixed route
+// table below and status codes are classed into the handful of values the
+// API can actually produce (with 5xx/other as catch-alls). That bounds the
+// exposition's cardinality no matter what clients send.
+
+// Endpoint label values, one per route.
+const (
+	epEdgesAdd        = "edges_add"
+	epEdgesDelete     = "edges_delete"
+	epSolve           = "solve"
+	epSolveBatch      = "solve_batch"
+	epSparsifier      = "sparsifier"
+	epResistance      = "resistance"
+	epResistanceBatch = "resistance_batch"
+	epStats           = "stats"
+	epHealthz         = "healthz"
+	epMetrics         = "metrics"
+)
+
+var endpointNames = []string{
+	epEdgesAdd, epEdgesDelete, epSolve, epSolveBatch, epSparsifier,
+	epResistance, epResistanceBatch, epStats, epHealthz, epMetrics,
+}
+
+// Status-code classes (codeClasses order matches codeClass indices).
+var codeClasses = []string{"200", "400", "404", "408", "422", "499", "5xx", "other"}
+
+const (
+	ccOK = iota
+	ccBadRequest
+	ccNotFound
+	ccTimeout
+	ccUnprocessable
+	ccClientClosed
+	ccServerError
+	ccOther
+)
+
+func codeClass(status int) int {
+	switch status {
+	case http.StatusOK:
+		return ccOK
+	case http.StatusBadRequest:
+		return ccBadRequest
+	case http.StatusNotFound:
+		return ccNotFound
+	case http.StatusRequestTimeout:
+		return ccTimeout
+	case http.StatusUnprocessableEntity:
+		return ccUnprocessable
+	case statusClientClosedRequest:
+		return ccClientClosed
+	}
+	if status >= 500 && status < 600 {
+		return ccServerError
+	}
+	return ccOther
+}
+
+type endpointMetrics struct {
+	dur   *obs.Histogram
+	codes [8]*obs.Counter // indexed by codeClass
+}
+
+type httpMetrics struct {
+	inflight *obs.Gauge
+	eps      map[string]*endpointMetrics
+}
+
+// newHTTPMetrics registers the HTTP request metrics in reg: a latency
+// histogram per endpoint, a response counter per (endpoint, code), and one
+// in-flight gauge.
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	hm := &httpMetrics{
+		inflight: reg.Gauge("ingrass_http_inflight_requests",
+			"HTTP requests currently being handled"),
+		eps: make(map[string]*endpointMetrics, len(endpointNames)),
+	}
+	for _, ep := range endpointNames {
+		em := &endpointMetrics{
+			dur: reg.Histogram("ingrass_http_request_duration_seconds",
+				"HTTP request latency by endpoint", obs.ScaleSeconds,
+				obs.Label{Key: "endpoint", Value: ep}),
+		}
+		for i, code := range codeClasses {
+			em.codes[i] = reg.Counter("ingrass_http_requests_total",
+				"HTTP responses by endpoint and status class",
+				obs.Label{Key: "endpoint", Value: ep},
+				obs.Label{Key: "code", Value: code})
+		}
+		hm.eps[ep] = em
+	}
+	return hm
+}
+
+// metricsHandler serves the GET /metrics Prometheus text exposition of reg.
+func metricsHandler(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ExpositionContentType)
+		if err := reg.WritePrometheus(w); err != nil {
+			fmt.Fprintf(os.Stderr, "ingrass: /metrics: %v\n", err)
+		}
+	}
+}
+
+// statusRecorder captures the response status for the middleware. A handler
+// that never calls WriteHeader implicitly responds 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// wrap instruments one endpoint handler.
+func (hm *httpMetrics) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := hm.eps[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		hm.inflight.Add(1)
+		defer hm.inflight.Add(-1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		em.dur.ObserveSince(start)
+		em.codes[codeClass(rec.status)].Inc()
+	}
+}
+
+// endpointStats is the per-endpoint block in GET /stats: request count,
+// the solver failure-mode responses (non-convergence 422, deadline 408,
+// client-cancel 499), and the latency digest.
+type endpointStats struct {
+	Requests         uint64      `json:"requests"`
+	NonConvergence   uint64      `json:"non_convergence"`
+	DeadlineExceeded uint64      `json:"deadline_exceeded"`
+	ClientCancelled  uint64      `json:"client_cancelled"`
+	Latency          obs.Summary `json:"latency_seconds"`
+}
+
+// view snapshots the per-endpoint counters for the /stats JSON body.
+func (hm *httpMetrics) view() map[string]endpointStats {
+	out := make(map[string]endpointStats, len(hm.eps))
+	for ep, em := range hm.eps {
+		var total uint64
+		for _, c := range em.codes {
+			total += c.Value()
+		}
+		out[ep] = endpointStats{
+			Requests:         total,
+			NonConvergence:   em.codes[ccUnprocessable].Value(),
+			DeadlineExceeded: em.codes[ccTimeout].Value(),
+			ClientCancelled:  em.codes[ccClientClosed].Value(),
+			Latency:          em.dur.Summarize(),
+		}
+	}
+	return out
+}
+
+// cmdMetricsLint checks a Prometheus text exposition (stdin or -in) against
+// the format rules /metrics promises: HELP/TYPE before samples, no
+// duplicate series, sorted cumulative le buckets ending at +Inf, and
+// _count/_sum consistency. Exit status 1 on any violation — the CI scrape
+// check pipes `curl /metrics` through this.
+func cmdMetricsLint(args []string) {
+	fs := flag.NewFlagSet("metricslint", flag.ExitOnError)
+	in := fs.String("in", "", "exposition file to lint (default stdin)")
+	_ = fs.Parse(args)
+
+	var (
+		data []byte
+		err  error
+	)
+	if *in != "" {
+		data, err = os.ReadFile(*in)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	errs := obs.LintExposition(data)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "metricslint:", e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "metricslint: %d violation(s)\n", len(errs))
+		os.Exit(1)
+	}
+	fmt.Println("metricslint: ok")
+}

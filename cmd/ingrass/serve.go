@@ -148,9 +148,13 @@ func cmdServe(args []string) {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = server.Shutdown(shutCtx)
-		bs := svc.Stats()
-		fmt.Printf("batched query engine: %d batches formed, %d requests coalesced, avg block fill %.2f, queue depth %d\n",
-			bs.BatchesFormed, bs.RequestsCoalesced, bs.AvgBlockFill, bs.BatchQueueDepth)
+		// The shutdown summary renders straight from the obs registry —
+		// the same store /metrics scrapes — so the final printed counters
+		// can never disagree with what monitoring collected.
+		fmt.Println("final counters:")
+		_ = svc.Metrics().WriteText(os.Stdout,
+			"ingrass_batch_", "ingrass_http_requests_total",
+			"ingrass_solves_total", "ingrass_solve_failures_total")
 		if *dataDir != "" {
 			if gen, err := svc.Checkpoint(); err != nil {
 				fmt.Fprintf(os.Stderr, "ingrass: final checkpoint: %v\n", err)
@@ -316,14 +320,20 @@ func solveStatus(err error) int {
 //	GET    /sparsifier       ?gen=&format=text|json        export H
 //	GET    /resistance       ?u=&v=                        effective resistance
 //	POST   /resistance/batch {"pairs":[{"u":0,"v":5},..]}  blocked resistance sweep
-//	GET    /stats                                          engine + scheduler counters
+//	GET    /stats                                          engine + scheduler + per-endpoint counters (JSON)
+//	GET    /metrics                                        Prometheus text exposition
 //	GET    /healthz                                        liveness
+//
+// Every handler is wrapped in the httpMetrics middleware (see metrics.go),
+// so request latency and response codes land in the same obs registry the
+// engine exposes — /stats and /metrics are two renderings of one store.
 //
 // Concurrent single POST /solve requests against the same generation are
 // transparently coalesced into blocked multi-RHS executions when the
 // service was started with -coalesce (the default).
 func newServeMux(svc *ingrass.Service) *http.ServeMux {
 	mux := http.NewServeMux()
+	hm := newHTTPMetrics(svc.Metrics())
 
 	decodeEdges := func(w http.ResponseWriter, r *http.Request) ([]ingrass.Edge, bool) {
 		var req edgesRequest
@@ -360,25 +370,25 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 		}
 	}
 
-	mux.HandleFunc("POST /edges", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /edges", hm.wrap(epEdgesAdd, func(w http.ResponseWriter, r *http.Request) {
 		edges, ok := decodeEdges(w, r)
 		if !ok {
 			return
 		}
 		res, err := svc.AddEdges(r.Context(), edges)
 		writeResult(w, res, err)
-	})
+	}))
 
-	mux.HandleFunc("DELETE /edges", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("DELETE /edges", hm.wrap(epEdgesDelete, func(w http.ResponseWriter, r *http.Request) {
 		edges, ok := decodeEdges(w, r)
 		if !ok {
 			return
 		}
 		res, err := svc.DeleteEdges(r.Context(), edges)
 		writeResult(w, res, err)
-	})
+	}))
 
-	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /solve", hm.wrap(epSolve, func(w http.ResponseWriter, r *http.Request) {
 		var req solveRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -403,9 +413,9 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			return
 		}
 		writeJSON(w, http.StatusOK, solveResponse{X: x, Stats: stats})
-	})
+	}))
 
-	mux.HandleFunc("GET /sparsifier", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /sparsifier", hm.wrap(epSparsifier, func(w http.ResponseWriter, r *http.Request) {
 		var (
 			h   *ingrass.Graph
 			gen uint64
@@ -444,9 +454,9 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			// Headers are gone; nothing better to do than log.
 			fmt.Fprintf(os.Stderr, "ingrass: sparsifier export: %v\n", err)
 		}
-	})
+	}))
 
-	mux.HandleFunc("GET /resistance", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /resistance", hm.wrap(epResistance, func(w http.ResponseWriter, r *http.Request) {
 		n := svc.NumNodes()
 		u, ok := parseEndpoint(w, r, "u", n)
 		if !ok {
@@ -469,11 +479,11 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"u": u, "v": v, "resistance": res, "generation": gen,
 		})
-	})
+	}))
 
 	// Batch endpoints: many queries, one snapshot generation, blocked
 	// multi-RHS execution underneath.
-	mux.HandleFunc("POST /solve/batch", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /solve/batch", hm.wrap(epSolveBatch, func(w http.ResponseWriter, r *http.Request) {
 		var req batchSolveRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -508,9 +518,9 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			}
 		}
 		writeJSON(w, http.StatusOK, batchSolveResponse{Results: items, Generation: gen})
-	})
+	}))
 
-	mux.HandleFunc("POST /resistance/batch", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /resistance/batch", hm.wrap(epResistanceBatch, func(w http.ResponseWriter, r *http.Request) {
 		var req batchResistanceRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -537,15 +547,28 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			}
 		}
 		writeJSON(w, http.StatusOK, batchResistanceResponse{Results: items, Generation: gen})
-	})
+	}))
 
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
+	mux.HandleFunc("GET /stats", hm.wrap(epStats, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{
+			ServiceStats: svc.Stats(),
+			Endpoints:    hm.view(),
+		})
+	}))
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /metrics", hm.wrap(epMetrics, metricsHandler(svc.Metrics())))
+
+	mux.HandleFunc("GET /healthz", hm.wrap(epHealthz, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}))
 
 	return mux
+}
+
+// statsResponse is the GET /stats body: the engine counters plus the
+// per-endpoint HTTP request/failure-mode/latency blocks, both read from the
+// same obs registry a /metrics scrape renders.
+type statsResponse struct {
+	ingrass.ServiceStats
+	Endpoints map[string]endpointStats `json:"endpoints"`
 }

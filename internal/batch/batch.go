@@ -56,6 +56,11 @@ type Options struct {
 	// Workers is the number of executor goroutines draining sealed groups.
 	// Default GOMAXPROCS.
 	Workers int
+	// OnGroup, when non-nil, is invoked once per executed (or directly
+	// recorded) group with its width in right-hand sides — the hook the
+	// serving layer uses to feed its block-fill histogram. It runs on
+	// executor goroutines and must be cheap and non-blocking.
+	OnGroup func(width int)
 }
 
 func (o Options) withDefaults() Options {
@@ -343,6 +348,9 @@ func (s *Scheduler[T]) recordGroup(w int) {
 	s.stats.columns.Add(uint64(w))
 	if w > 1 {
 		s.stats.coalesced.Add(uint64(w))
+	}
+	if s.opts.OnGroup != nil {
+		s.opts.OnGroup(w)
 	}
 }
 

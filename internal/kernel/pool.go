@@ -104,6 +104,11 @@ type Pool struct {
 	partial  []pad64    // per-worker reduction slots, len workers
 	partialM []padMulti // per-worker per-column slots for the multi kernels
 
+	// forks counts fork-join operations dispatched through this pool over
+	// its lifetime — the kernel-dispatch rate the observability layer
+	// exposes (see SharedForks).
+	forks atomic.Uint64
+
 	closed atomic.Bool
 	ws     []worker // len workers-1 (the caller is worker 0)
 	wg     sync.WaitGroup
@@ -174,6 +179,7 @@ func (p *Pool) Close() {
 // run executes fn's shares for all workers and returns when every share is
 // complete. The caller must hold p.mu and have filled p.job.
 func (p *Pool) run(fn kernelFn) {
+	p.forks.Add(1)
 	if p.workers == 1 {
 		fn(p, 0)
 		return
@@ -251,6 +257,14 @@ func (p *Pool) span(w, n int) (lo, hi int) {
 	return w * n / p.workers, (w + 1) * n / p.workers
 }
 
+// Forks returns the number of fork-join operations this pool has run.
+func (p *Pool) Forks() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.forks.Load()
+}
+
 // Shared pools, one per distinct clamped worker count.
 var (
 	sharedMu sync.Mutex
@@ -277,4 +291,18 @@ func Shared(workers int) *Pool {
 		shared[workers] = p
 	}
 	return p
+}
+
+// SharedForks sums the fork-join dispatch counts across every shared pool —
+// the process-wide parallel-kernel dispatch counter the metrics registry
+// bridges as a CounterFunc. Serial (width-1) operations run inline without
+// a pool and are intentionally not counted.
+func SharedForks() uint64 {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	var total uint64
+	for _, p := range shared {
+		total += p.forks.Load()
+	}
+	return total
 }

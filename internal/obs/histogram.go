@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-linear in base 2 with histSub linear
+// sub-buckets per octave. Values below histFirst get an exact bucket each;
+// a value v >= histFirst with highest bit at position exp lands in the
+// sub-bucket indexed by the histSubBits bits after the leading one. The
+// relative width of any bucket is at most 1/histSub = 12.5%, so a quantile
+// read off the bucket upper bound overestimates the true sample quantile by
+// at most 12.5% (plus 1 for integer rounding) and never underestimates it —
+// the property the histogram tests pin down.
+//
+// With histMaxExp = 42 the layout spans 1ns to ~73 minutes at nanosecond
+// recording; larger values clamp into one overflow bucket. The whole count
+// array is (16 + 39*8 + 1) * 8 bytes ≈ 2.6 KiB per histogram.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits       // linear sub-buckets per octave
+	histFirst   = 1 << (histSubBits + 1) // exact buckets for small values
+	histMinExp  = histSubBits + 1        // first log-linear octave
+	histMaxExp  = 42                     // clamp octave
+	numBuckets  = histFirst + (histMaxExp-histMinExp)*histSub + 1
+)
+
+// bucketBounds[i] is the largest value bucket i can hold (inclusive); the
+// final overflow bucket reports +Inf.
+var bucketBounds = func() [numBuckets]int64 {
+	var b [numBuckets]int64
+	for v := 0; v < histFirst; v++ {
+		b[v] = int64(v)
+	}
+	i := histFirst
+	for exp := histMinExp; exp < histMaxExp; exp++ {
+		for sub := 1; sub <= histSub; sub++ {
+			// Bucket covers [2^exp + (sub-1)*2^(exp-histSubBits),
+			//                2^exp +  sub   *2^(exp-histSubBits)).
+			b[i] = int64(1)<<uint(exp) + int64(sub)<<uint(exp-histSubBits) - 1
+			i++
+		}
+	}
+	b[numBuckets-1] = math.MaxInt64
+	return b
+}()
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histFirst {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	if exp >= histMaxExp {
+		return numBuckets - 1
+	}
+	sub := int(v>>uint(exp-histSubBits)) & (histSub - 1)
+	return histFirst + (exp-histMinExp)*histSub + sub
+}
+
+// Histogram is a concurrent log-linear histogram over non-negative int64
+// values (typically durations in nanoseconds). Observing is three atomic
+// adds and never allocates; every method is safe on a nil receiver so
+// call sites can instrument unconditionally whether or not a registry was
+// attached.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	sum    atomic.Int64
+	count  atomic.Uint64
+	// scale converts raw recorded values to the exposed unit at rendering
+	// time (ScaleSeconds for ns -> s); recording stays integer-only.
+	scale float64
+}
+
+// Unit scales for NewHistogram / Registry.Histogram.
+const (
+	// ScaleSeconds exposes nanosecond observations as seconds.
+	ScaleSeconds = 1e-9
+	// ScaleNone exposes raw values unchanged (counts, widths).
+	ScaleNone = 1.0
+)
+
+// NewHistogram returns a standalone histogram (use Registry.Histogram to
+// also expose it).
+func NewHistogram(scale float64) *Histogram {
+	if scale <= 0 {
+		scale = ScaleNone
+	}
+	return &Histogram{scale: scale}
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records d at nanosecond resolution.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the elapsed time since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the raw (unscaled) sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) in raw units: the upper
+// bound of the bucket holding the ceil(q*count)-th smallest observation.
+// It is an upper bound on the true sample quantile, within one bucket's
+// resolution (<= 12.5% relative). Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return bucketBounds[i]
+		}
+	}
+	return bucketBounds[numBuckets-1]
+}
+
+// Summary is a point-in-time quantile digest in exposed (scaled) units,
+// JSON-friendly for /stats and SLO reports.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+// Summarize digests the histogram. Concurrent observers may skew Count
+// against the quantiles by a few samples; fine for reporting.
+func (h *Histogram) Summarize() Summary {
+	if h == nil || h.count.Load() == 0 {
+		return Summary{}
+	}
+	s := h.scale
+	return Summary{
+		Count: h.count.Load(),
+		Sum:   float64(h.sum.Load()) * s,
+		P50:   float64(h.Quantile(0.50)) * s,
+		P90:   float64(h.Quantile(0.90)) * s,
+		P99:   float64(h.Quantile(0.99)) * s,
+		P999:  float64(h.Quantile(0.999)) * s,
+		Max:   float64(h.Quantile(1.0)) * s,
+	}
+}
+
+// buckets invokes fn for every non-empty bucket in ascending order with the
+// bucket's inclusive upper bound (raw units) and its count.
+func (h *Histogram) buckets(fn func(upper int64, count uint64)) {
+	for i := 0; i < numBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			fn(bucketBounds[i], c)
+		}
+	}
+}

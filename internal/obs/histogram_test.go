@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileBoundsTrueQuantile is the histogram's accuracy property: for
+// arbitrary sample sets, the recorded quantile is an upper bound on the
+// true sample quantile and overshoots it by at most one bucket's
+// resolution (12.5% relative, +1 for integer bucket edges).
+func TestQuantileBoundsTrueQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999, 1.0}
+	for trial := 0; trial < 50; trial++ {
+		n := 100 + rng.Intn(5000)
+		samples := make([]int64, n)
+		h := NewHistogram(ScaleNone)
+		for i := range samples {
+			var v int64
+			switch trial % 3 {
+			case 0: // uniform small
+				v = int64(rng.Intn(1000))
+			case 1: // log-uniform over the full latency range
+				v = int64(1) << uint(rng.Intn(40))
+				v += rng.Int63n(v + 1)
+			default: // heavy-tailed
+				v = int64(rng.ExpFloat64() * 1e6)
+			}
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			rank := int(float64(n)*q+0.9999) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			if rank >= n {
+				rank = n - 1
+			}
+			truth := samples[rank]
+			got := h.Quantile(q)
+			if got < truth {
+				t.Fatalf("trial %d q=%g: estimate %d below true quantile %d", trial, q, got, truth)
+			}
+			bound := truth + truth/8 + 1
+			if got > bound {
+				t.Fatalf("trial %d q=%g: estimate %d exceeds resolution bound %d (true %d)",
+					trial, q, got, bound, truth)
+			}
+		}
+	}
+}
+
+// TestBucketIndexBounds pins the bucket mapping invariants: every value
+// falls in a bucket whose inclusive upper bound is >= the value, and the
+// next bucket's bound is strictly larger.
+func TestBucketIndexBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(v int64) {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, i)
+		}
+		if bucketBounds[i] < v {
+			t.Fatalf("value %d: bound %d below value", v, bucketBounds[i])
+		}
+		if i > 0 && bucketBounds[i-1] >= v {
+			t.Fatalf("value %d: previous bound %d should be below it", v, bucketBounds[i-1])
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	for trial := 0; trial < 100000; trial++ {
+		check(rng.Int63n(int64(1) << 42))
+	}
+	if got := bucketIndex(int64(1) << 50); got != numBuckets-1 {
+		t.Fatalf("overflow value: bucket %d, want %d", got, numBuckets-1)
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value: bucket %d, want 0", got)
+	}
+	for i := 1; i < numBuckets; i++ {
+		if bucketBounds[i] <= bucketBounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d then %d", i, bucketBounds[i-1], bucketBounds[i])
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many goroutines
+// (run under -race in CI) and checks the totals reconcile exactly.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	const goroutines = 16
+	const perG = 20000
+	h := NewHistogram(ScaleSeconds)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count %d, want %d", got, goroutines*perG)
+	}
+	var cum uint64
+	h.buckets(func(_ int64, c uint64) { cum += c })
+	if cum != goroutines*perG {
+		t.Fatalf("bucket sum %d, want %d", cum, goroutines*perG)
+	}
+}
+
+// TestWarmPathAllocationFree is the CI allocation gate for the metric hot
+// path: counter inc, gauge set, and histogram record must be 0 allocs/op.
+func TestWarmPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("obs_test_ops_total", "test counter")
+	g := reg.Gauge("obs_test_depth", "test gauge")
+	h := reg.Histogram("obs_test_latency_seconds", "test histogram", ScaleSeconds)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(42)
+		g.Add(-1)
+		h.Observe(123456)
+		h.ObserveDuration(42 * time.Microsecond)
+	}); allocs != 0 {
+		t.Fatalf("metric hot path allocates: %v allocs/op", allocs)
+	}
+	// Nil receivers are the unregistered-instrumentation path; they must be
+	// free too.
+	var nc *Counter
+	var nh *Histogram
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		nh.Observe(1)
+	}); allocs != 0 {
+		t.Fatalf("nil-receiver path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestSummaryEmptyAndScale(t *testing.T) {
+	h := NewHistogram(ScaleSeconds)
+	if s := h.Summarize(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	h.ObserveDuration(time.Millisecond)
+	s := h.Summarize()
+	if s.Count != 1 {
+		t.Fatalf("count %d", s.Count)
+	}
+	// 1ms recorded in ns, exposed in seconds: within bucket resolution.
+	if s.P50 < 1e-3 || s.P50 > 1.2e-3 {
+		t.Fatalf("p50 %g not ~1ms in seconds", s.P50)
+	}
+}

@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition is a promtool-free structural check of Prometheus text
+// exposition data (version 0.0.4), used by the CI metrics-lint step and the
+// `ingrass metricslint` subcommand. It verifies that:
+//
+//   - every line is a valid comment, HELP, TYPE, or sample line;
+//   - each family declares HELP and TYPE exactly once, before its samples;
+//   - no family or series (name + label set) appears twice;
+//   - sample names match their declared family (allowing the _bucket/_sum/
+//     _count suffixes only on histogram families);
+//   - histogram le buckets are sorted, cumulative, and end at +Inf, with
+//     _count equal to the +Inf bucket;
+//   - metric and label names are well-formed and sample values parse.
+//
+// It returns one error per violation (nil-length means the input is clean).
+func LintExposition(data []byte) []error {
+	var errs []error
+	addErr := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type familyState struct {
+		typ      string
+		hasHelp  bool
+		hasType  bool
+		helpLine int
+	}
+	families := make(map[string]*familyState)
+	seenSeries := make(map[string]int)
+
+	type histSeries struct {
+		line    int
+		buckets []struct {
+			le  float64
+			cum float64
+			inf bool
+		}
+		count    float64
+		hasCount bool
+	}
+	hists := make(map[string]*histSeries) // keyed by family + non-le labels
+
+	// baseFamily resolves a sample name to its declared family.
+	baseFamily := func(name string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(name, suf); fam != name {
+				if st, ok := families[fam]; ok && st.typ == "histogram" {
+					return fam, suf
+				}
+			}
+		}
+		return name, ""
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for i, raw := range lines {
+		ln := i + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Other comments are legal and ignored.
+				continue
+			}
+			name := fields[2]
+			if !validName(name) {
+				addErr(ln, "invalid metric name %q in %s", name, fields[1])
+				continue
+			}
+			st := families[name]
+			if st == nil {
+				st = &familyState{}
+				families[name] = st
+			}
+			switch fields[1] {
+			case "HELP":
+				if st.hasHelp {
+					addErr(ln, "duplicate HELP for family %s (first at line %d)", name, st.helpLine)
+				}
+				st.hasHelp, st.helpLine = true, ln
+			case "TYPE":
+				if st.hasType {
+					addErr(ln, "duplicate TYPE for family %s", name)
+				}
+				if len(fields) < 4 {
+					addErr(ln, "TYPE for %s missing a type", name)
+					continue
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					st.typ = fields[3]
+				default:
+					addErr(ln, "unknown TYPE %q for %s", fields[3], name)
+				}
+				st.hasType = true
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addErr(ln, "%v", err)
+			continue
+		}
+		fam, suffix := baseFamily(name)
+		st := families[fam]
+		if st == nil || !st.hasType {
+			addErr(ln, "sample %s has no preceding TYPE declaration", name)
+			continue
+		}
+		if st.typ == "histogram" && suffix == "" {
+			addErr(ln, "bare sample %s on histogram family", name)
+			continue
+		}
+		if st.typ != "histogram" && suffix != "" {
+			// Unreachable via baseFamily, kept for clarity.
+			addErr(ln, "suffix sample %s on %s family", name, st.typ)
+			continue
+		}
+
+		nonLE := make([]string, 0, len(labels))
+		var le string
+		var hasLE bool
+		for _, l := range labels {
+			if l.Key == "le" {
+				le, hasLE = l.Value, true
+				continue
+			}
+			nonLE = append(nonLE, l.Key+"="+l.Value)
+		}
+		sort.Strings(nonLE)
+		seriesKey := name + "{" + strings.Join(nonLE, ",") + "}"
+		if hasLE {
+			seriesKey += "{le=" + le + "}"
+		}
+		if prev, dup := seenSeries[seriesKey]; dup {
+			addErr(ln, "duplicate series %s (first at line %d)", seriesKey, prev)
+		}
+		seenSeries[seriesKey] = ln
+
+		if st.typ != "histogram" {
+			continue
+		}
+		hkey := fam + "{" + strings.Join(nonLE, ",") + "}"
+		hs := hists[hkey]
+		if hs == nil {
+			hs = &histSeries{line: ln}
+			hists[hkey] = hs
+		}
+		switch suffix {
+		case "_bucket":
+			if !hasLE {
+				addErr(ln, "histogram bucket %s missing le label", seriesKey)
+				continue
+			}
+			inf := le == "+Inf"
+			bound := 0.0
+			if !inf {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					addErr(ln, "unparseable le %q", le)
+					continue
+				}
+			}
+			hs.buckets = append(hs.buckets, struct {
+				le  float64
+				cum float64
+				inf bool
+			}{bound, value, inf})
+		case "_count":
+			hs.count, hs.hasCount = value, true
+		}
+	}
+
+	for key, hs := range hists {
+		if len(hs.buckets) == 0 {
+			errs = append(errs, fmt.Errorf("histogram %s has no buckets", key))
+			continue
+		}
+		last := hs.buckets[len(hs.buckets)-1]
+		if !last.inf {
+			errs = append(errs, fmt.Errorf("histogram %s does not end at le=\"+Inf\"", key))
+		}
+		for i := 1; i < len(hs.buckets); i++ {
+			prev, cur := hs.buckets[i-1], hs.buckets[i]
+			if prev.inf {
+				errs = append(errs, fmt.Errorf("histogram %s has buckets after le=\"+Inf\"", key))
+				break
+			}
+			if !cur.inf && cur.le <= prev.le {
+				errs = append(errs, fmt.Errorf("histogram %s le buckets not sorted (%g after %g)", key, cur.le, prev.le))
+			}
+			if cur.cum < prev.cum {
+				errs = append(errs, fmt.Errorf("histogram %s buckets not cumulative (%g after %g)", key, cur.cum, prev.cum))
+			}
+		}
+		if hs.hasCount && last.inf && hs.count != last.cum {
+			errs = append(errs, fmt.Errorf("histogram %s _count %g != +Inf bucket %g", key, hs.count, last.cum))
+		}
+	}
+	return errs
+}
+
+// parseSample splits one sample line into name, labels, and value.
+func parseSample(line string) (string, []Label, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[nameEnd:]
+	var labels []Label
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:close])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[close+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// Optional timestamp after the value.
+	if sp := strings.IndexByte(valStr, ' '); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", valStr, line)
+	}
+	return name, labels, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"`. Escapes inside values are honored.
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			if s[i] == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			val.WriteByte(s[i])
+		}
+		if i == len(s) {
+			return nil, fmt.Errorf("unterminated value for label %s", key)
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}

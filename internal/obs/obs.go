@@ -1,0 +1,253 @@
+// Package obs is the repository's metrics core: allocation-free counters,
+// gauges, and log-linear latency histograms behind a registry that renders
+// both Prometheus text exposition (GET /metrics) and the JSON views the
+// service's /stats endpoint and shutdown summaries are built from. One
+// registry per serving process is the single source of truth — every number
+// a log line prints and every number a scraper reads comes from the same
+// underlying atomics, so the two can never disagree.
+//
+// Hot-path contract: recording — Counter.Inc/Add, Gauge.Set/Add,
+// Histogram.Observe — is a handful of atomic operations and never
+// allocates (CI gates this at 0 allocs/op). Registration, by contrast, is
+// startup-time work: it takes a lock, validates names, and may allocate
+// freely. Instrument by registering handles once and recording through
+// them, never by looking metrics up per event.
+//
+// Cardinality rules (enforced by convention, documented in DESIGN.md):
+// label sets are fixed at registration, label values come from small closed
+// vocabularies (endpoint names, outcome classes, status codes), and
+// unbounded dimensions — snapshot generation, node ids, client addresses —
+// are never labels. Generation is exposed as a gauge instead.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Values must come from a small fixed set
+// (see the package cardinality rules).
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing value. The zero value is usable;
+// registry-created counters are already wired for exposition.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1. Never allocates.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. Never allocates.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer value (queue depths, in-flight
+// requests). The zero value is usable.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Never allocates.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (negative to decrement). Never allocates.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// metricKind discriminates exposition families.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (label set, value source) member of a family.
+type series struct {
+	labels []Label
+	read   func() float64 // counter/gauge sample
+	hist   *Histogram     // histogram sample
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	series     []*series
+}
+
+// Registry holds registered metrics and renders them. All registration
+// methods panic on invalid or conflicting definitions — a metric schema
+// error is a programming bug, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds one series under name, creating the family on first use.
+func (r *Registry) register(name, help string, kind metricKind, s *series) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range s.labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label key %q", name, l.Key))
+		}
+	}
+	// Labels sort at registration so duplicate detection and exposition are
+	// order-independent.
+	sort.Slice(s.labels, func(i, j int) bool { return s.labels[i].Key < s.labels[j].Key })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	key := labelKey(s.labels)
+	for _, existing := range f.series {
+		if labelKey(existing.labels) == key {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s}", name, key))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, &series{labels: labels, read: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// exposition time — the bridge for counters that already live as atomics
+// elsewhere (engine stats, scheduler stats). fn must be monotonic.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindCounter, &series{labels: labels, read: fn})
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &series{labels: labels, read: func() float64 { return float64(g.Value()) }})
+	return g
+}
+
+// GaugeFunc registers a gauge sampled from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, &series{labels: labels, read: fn})
+}
+
+// Histogram registers and returns a log-linear histogram. scale converts
+// recorded raw values to the exposed unit (ScaleSeconds for nanosecond
+// observations under a _seconds name, ScaleNone for dimensionless values).
+func (r *Registry) Histogram(name, help string, scale float64, labels ...Label) *Histogram {
+	h := NewHistogram(scale)
+	r.register(name, help, kindHistogram, &series{labels: labels, hist: h})
+	return h
+}
+
+// snapshotFamilies copies the family list, sorted by name, so rendering
+// never holds the registry lock while formatting.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// labelKey serializes a sorted label set for duplicate detection.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// validName reports whether s is a legal Prometheus metric or label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

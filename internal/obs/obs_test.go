@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("app_requests_total", "requests served", Label{"endpoint", "solve"})
+	c2 := reg.Counter("app_requests_total", "requests served", Label{"endpoint", "stats"})
+	g := reg.Gauge("app_queue_depth", "requests awaiting execution")
+	reg.GaugeFunc("app_generation", "served snapshot generation", func() float64 { return 7 })
+	h := reg.Histogram("app_latency_seconds", "request latency", ScaleSeconds, Label{"endpoint", "solve"})
+
+	c.Add(5)
+	c2.Inc()
+	g.Set(3)
+	h.Observe(1500)          // 1.5us
+	h.Observe(2_000_000)     // 2ms
+	h.Observe(2_000_000)     // 2ms
+	h.Observe(3_000_000_000) // 3s
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP app_requests_total requests served",
+		"# TYPE app_requests_total counter",
+		`app_requests_total{endpoint="solve"} 5`,
+		`app_requests_total{endpoint="stats"} 1`,
+		"# TYPE app_queue_depth gauge",
+		"app_queue_depth 3",
+		"app_generation 7",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{endpoint="solve",le="+Inf"} 4`,
+		`app_latency_seconds_count{endpoint="solve"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// HELP/TYPE once per family even with multiple series.
+	if n := strings.Count(out, "# TYPE app_requests_total"); n != 1 {
+		t.Fatalf("TYPE emitted %d times", n)
+	}
+
+	// The output passes its own lint.
+	if errs := LintExposition(buf.Bytes()); len(errs) != 0 {
+		t.Fatalf("self-lint failed: %v", errs)
+	}
+}
+
+func TestRegistryPanicsOnConflicts(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("dup_total", "x", Label{"a", "1"})
+	mustPanic("duplicate series", func() { reg.Counter("dup_total", "x", Label{"a", "1"}) })
+	mustPanic("kind conflict", func() { reg.Gauge("dup_total", "x") })
+	mustPanic("bad name", func() { reg.Counter("9bad", "x") })
+	mustPanic("bad label", func() { reg.Counter("ok_total", "x", Label{"0bad", "v"}) })
+}
+
+func TestWriteTextFilters(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("aaa_batches_total", "batches").Add(9)
+	reg.Counter("bbb_other_total", "other").Add(1)
+	h := reg.Histogram("aaa_fill", "fill", ScaleNone)
+	h.Observe(4)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf, "aaa_"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "aaa_batches_total 9") || strings.Contains(out, "bbb_other_total") {
+		t.Fatalf("filtered summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "aaa_fill_count 1") || !strings.Contains(out, "aaa_fill_sum 4") {
+		t.Fatalf("histogram summary wrong:\n%s", out)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "orphan_total 3\n",
+		"duplicate TYPE":   "# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n",
+		"duplicate series": "# TYPE x_total counter\nx_total{a=\"1\"} 1\nx_total{a=\"1\"} 2\n",
+		"bad value":        "# TYPE x_total counter\nx_total abc\n",
+		"unsorted buckets": "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+		"no +Inf":          "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"not cumulative":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 3\nh_count 5\n",
+		"count mismatch":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 3\nh_count 4\n",
+	}
+	for name, input := range cases {
+		if errs := LintExposition([]byte(input)); len(errs) == 0 {
+			t.Errorf("%s: lint found nothing in %q", name, input)
+		}
+	}
+	clean := "# HELP ok_total fine\n# TYPE ok_total counter\nok_total{a=\"x\"} 1\nok_total{a=\"y\"} 2\n"
+	if errs := LintExposition([]byte(clean)); len(errs) != 0 {
+		t.Errorf("clean input flagged: %v", errs)
+	}
+}

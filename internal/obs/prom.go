@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type for WritePrometheus output.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format: families sorted by name, one HELP/TYPE pair per
+// family, histograms as cumulative le buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				writeHistogramSeries(bw, f.name, s)
+				continue
+			}
+			bw.WriteString(f.name)
+			writeLabels(bw, s.labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.read()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteText renders "name{labels} value" sample lines (no HELP/TYPE) for
+// families whose name starts with any of the given prefixes — the shutdown
+// summary path, guaranteed to agree with a concurrent scrape because it
+// reads the identical series. Histograms render their _count and _sum.
+func (r *Registry) WriteText(w io.Writer, prefixes ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		matched := len(prefixes) == 0
+		for _, p := range prefixes {
+			if strings.HasPrefix(f.name, p) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				h := s.hist
+				bw.WriteString(f.name + "_count")
+				writeLabels(bw, s.labels, "")
+				fmt.Fprintf(bw, " %d\n", h.Count())
+				bw.WriteString(f.name + "_sum")
+				writeLabels(bw, s.labels, "")
+				fmt.Fprintf(bw, " %s\n", formatValue(float64(h.Sum())*h.scale))
+				continue
+			}
+			bw.WriteString(f.name)
+			writeLabels(bw, s.labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.read()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogramSeries emits the cumulative bucket, sum, and count samples
+// of one histogram series. Only non-empty buckets are emitted (plus +Inf),
+// which keeps scrapes proportional to the observed value spread while
+// remaining valid exposition (le values stay sorted and cumulative).
+func writeHistogramSeries(bw *bufio.Writer, name string, s *series) {
+	h := s.hist
+	var cum uint64
+	h.buckets(func(upper int64, count uint64) {
+		cum += count
+		bw.WriteString(name + "_bucket")
+		writeLabels(bw, s.labels, formatValue(float64(upper)*h.scale))
+		fmt.Fprintf(bw, " %d\n", cum)
+	})
+	total := h.Count()
+	if total < cum {
+		// A racing Observe bumped a bucket before the count; clamp so the
+		// +Inf bucket stays cumulative-consistent within this scrape.
+		total = cum
+	}
+	bw.WriteString(name + "_bucket")
+	writeLabels(bw, s.labels, "+Inf")
+	fmt.Fprintf(bw, " %d\n", total)
+	bw.WriteString(name + "_sum")
+	writeLabels(bw, s.labels, "")
+	fmt.Fprintf(bw, " %s\n", formatValue(float64(h.Sum())*h.scale))
+	bw.WriteString(name + "_count")
+	writeLabels(bw, s.labels, "")
+	fmt.Fprintf(bw, " %d\n", total)
+}
+
+// writeLabels renders a label set, appending an le label when non-empty.
+func writeLabels(bw *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	first := true
+	for _, l := range labels {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabelValue(l.Value))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if !first {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="` + le + `"`)
+	}
+	bw.WriteByte('}')
+}
+
+// formatValue renders a float sample the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"ingrass/internal/kernel"
+	"ingrass/internal/obs"
+)
+
+// The engine's exposition wiring. The obs registry is the single source of
+// truth for every number the process reports: counters that already live as
+// engine atomics are bridged as CounterFunc/GaugeFunc reads over those same
+// atomics (so the JSON stats view and a Prometheus scrape can never
+// disagree), and the latency/shape histograms are created here and recorded
+// into by the hot paths through nil-safe handles.
+//
+// Metric naming follows the conventions DESIGN.md's Observability section
+// documents: one `ingrass_` namespace, `_total` on counters, base-unit
+// suffixes (`_seconds`) on histograms, and label values drawn only from
+// small closed vocabularies. The snapshot generation is a gauge, never a
+// label.
+
+// initHistograms creates the engine-owned histograms in reg and installs
+// the batch scheduler's block-fill hook. It must run before the scheduler
+// is constructed (the hook rides in batch.Options).
+func (e *Engine) initHistograms(reg *obs.Registry) {
+	e.stats.solveDur = reg.Histogram("ingrass_solve_duration_seconds",
+		"wall-clock latency of single-RHS Laplacian solves", obs.ScaleSeconds)
+	e.stats.blockDur = reg.Histogram("ingrass_solve_block_duration_seconds",
+		"wall-clock latency of blocked multi-RHS solve executions", obs.ScaleSeconds)
+	e.stats.solveIterH = reg.Histogram("ingrass_solve_iterations",
+		"outer FCG iterations per solve column", obs.ScaleNone)
+	blockFill := reg.Histogram("ingrass_batch_block_fill",
+		"right-hand sides per executed blocked group", obs.ScaleNone)
+	e.opts.Batch.OnGroup = func(w int) { blockFill.Observe(int64(w)) }
+}
+
+// registerBridges exposes the engine's existing atomic counters through reg.
+// It must run after the scheduler exists (the batch bridges sample it).
+func (e *Engine) registerBridges(reg *obs.Registry) {
+	ctr := func(name, help string, load func() uint64, labels ...obs.Label) {
+		reg.CounterFunc(name, help, func() float64 { return float64(load()) }, labels...)
+	}
+	ctr("ingrass_solves_total", "completed Laplacian solve columns", e.stats.solves.Load)
+	ctr("ingrass_solve_iterations_total", "cumulative outer FCG iterations", e.stats.solveIters.Load)
+	ctr("ingrass_solve_failures_total", "solves by failure mode",
+		e.stats.solveNoConv.Load, obs.Label{Key: "mode", Value: "no_convergence"})
+	ctr("ingrass_solve_failures_total", "solves by failure mode",
+		e.stats.solveDeadline.Load, obs.Label{Key: "mode", Value: "deadline_exceeded"})
+	ctr("ingrass_solve_failures_total", "solves by failure mode",
+		e.stats.solveCancel.Load, obs.Label{Key: "mode", Value: "cancelled"})
+	ctr("ingrass_precond_builds_total", "preconditioner factorizations built", e.stats.precondBuilds.Load)
+	ctr("ingrass_precond_reuses_total", "solves that reused a cached factorization", e.stats.precondReuses.Load)
+	ctr("ingrass_resistance_queries_total", "effective-resistance queries", e.stats.resistQueries.Load)
+	ctr("ingrass_cond_queries_total", "condition-number estimates", e.stats.condQueries.Load)
+	ctr("ingrass_sparsifier_exports_total", "sparsifier exports", e.stats.exports.Load)
+	ctr("ingrass_write_requests_total", "enqueued write requests", e.stats.writeRequests.Load)
+	ctr("ingrass_write_errors_total", "write requests that failed validation or application", e.stats.writeErrors.Load)
+	ctr("ingrass_flushes_total", "applied write batches", e.stats.flushes.Load)
+	ctr("ingrass_flushed_edges_total", "edges carried by applied batches",
+		e.stats.flushedAdds.Load, obs.Label{Key: "op", Value: "add"})
+	ctr("ingrass_flushed_edges_total", "edges carried by applied batches",
+		e.stats.flushedDeletes.Load, obs.Label{Key: "op", Value: "delete"})
+	ctr("ingrass_wal_appends_total", "batches appended to the write-ahead log", e.stats.walAppends.Load)
+	ctr("ingrass_wal_bytes_total", "framed bytes appended to the write-ahead log", e.stats.walBytes.Load)
+	ctr("ingrass_wal_errors_total", "failed WAL appends (durability degraded until checkpoint)", e.stats.walErrors.Load)
+	ctr("ingrass_checkpoints_total", "completed checkpoints", e.stats.checkpoints.Load)
+	ctr("ingrass_kernel_forks_total", "fork-join dispatches into the shared kernel pools", kernel.SharedForks)
+
+	reg.GaugeFunc("ingrass_generation", "snapshot generation currently served",
+		func() float64 { return float64(e.stats.generation.Load()) })
+	reg.GaugeFunc("ingrass_last_checkpoint_generation", "generation covered by the newest checkpoint",
+		func() float64 { return float64(e.stats.lastCheckpoint.Load()) })
+	reg.GaugeFunc("ingrass_write_queue_depth", "write requests awaiting a flush",
+		func() float64 { return float64(e.stats.queueDepth.Load()) })
+
+	ctr("ingrass_batch_groups_total", "executed blocked multi-RHS groups",
+		func() uint64 { return e.sched.Stats().BatchesFormed })
+	ctr("ingrass_batch_columns_total", "right-hand sides across all blocked groups",
+		func() uint64 { return e.sched.Stats().ColumnsTotal })
+	ctr("ingrass_batch_requests_coalesced_total", "requests that shared a group with others",
+		func() uint64 { return e.sched.Stats().RequestsCoalesced })
+	reg.GaugeFunc("ingrass_batch_queue_depth", "requests admitted to the scheduler but not yet executed",
+		func() float64 { return float64(e.sched.Stats().QueueDepth) })
+}

@@ -37,6 +37,7 @@ import (
 	"ingrass/internal/batch"
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
+	"ingrass/internal/obs"
 	"ingrass/internal/solver"
 	"ingrass/internal/wal"
 )
@@ -72,6 +73,13 @@ type Options struct {
 	// into blocked multi-RHS executions (window, block size, admission
 	// queue, executor workers).
 	Batch batch.Options
+	// Obs, when non-nil, is the metrics registry the engine exposes itself
+	// through: the atomic counters are bridged as CounterFunc/GaugeFunc
+	// reads and the solve-latency / iteration / block-fill histograms are
+	// created in it (see metrics.go). Nil disables exposition; the hot
+	// paths still record through nil-safe histogram handles at the cost of
+	// a few predicted branches.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -147,7 +155,16 @@ func New(sp *core.Sparsifier, opts Options) *Engine {
 	e.stats.generation.Store(e.opts.InitialGeneration)
 	e.stats.lastCheckpoint.Store(e.opts.InitialGeneration)
 	e.reg.Publish(newSnapshot(e.opts.InitialGeneration, sp.G.Snapshot(), sp.H.Snapshot(), &e.stats, e.opts.Solver))
+	if e.opts.Obs != nil {
+		// Histograms first: the block-fill hook rides in Batch options, which
+		// batch.New copies by value. The counter bridges come after the
+		// scheduler exists because they sample it.
+		e.initHistograms(e.opts.Obs)
+	}
 	e.sched = batch.New(e.opts.Batch, e.execGroup)
+	if e.opts.Obs != nil {
+		e.registerBridges(e.opts.Obs)
+	}
 	e.wg.Add(1)
 	go e.run()
 	return e

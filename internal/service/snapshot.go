@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"ingrass/internal/cond"
 	"ingrass/internal/graph"
@@ -89,6 +90,7 @@ func (s *Snapshot) SolveInto(ctx context.Context, x, b []float64, opts solver.Op
 	if err := s.ensureFactorized(); err != nil {
 		return SolveStats{}, err
 	}
+	start := time.Now()
 	res, err := s.fact.Solve(ctx, s.proj, x, b, opts)
 	st := SolveStats{
 		Generation:  s.Gen,
@@ -99,6 +101,9 @@ func (s *Snapshot) SolveInto(ctx context.Context, x, b []float64, opts solver.Op
 	}
 	s.stats.solves.Add(1)
 	s.stats.solveIters.Add(uint64(res.Outer.Iterations))
+	s.stats.solveDur.ObserveSince(start)
+	s.stats.solveIterH.Observe(int64(res.Outer.Iterations))
+	s.stats.recordSolveOutcome(err)
 	return st, err
 }
 
@@ -137,10 +142,23 @@ func (s *Snapshot) SolveBlockInto(ctx context.Context, xs, bs [][]float64, out [
 	if err := s.ensureFactorized(); err != nil {
 		return BlockSolveStats{}, err
 	}
+	start := time.Now()
 	inner, err := s.fact.SolveBlock(ctx, s.proj, xs, bs, out, colCtx, opts)
+	elapsed := time.Since(start)
+	s.stats.blockDur.Observe(int64(elapsed))
 	for j := 0; j < w; j++ {
 		s.stats.solves.Add(1)
 		s.stats.solveIters.Add(uint64(out[j].Iterations))
+		s.stats.solveIterH.Observe(int64(out[j].Iterations))
+		// Each coalesced column experienced the block's duration as its
+		// service time; recording it keeps solve_duration_seconds_count in
+		// step with solves_total whichever path a solve took.
+		s.stats.solveDur.Observe(int64(elapsed))
+		cerr := err
+		if cerr == nil {
+			cerr = out[j].Err
+		}
+		s.stats.recordSolveOutcome(cerr)
 	}
 	return BlockSolveStats{Generation: s.Gen, InnerUses: inner}, err
 }

@@ -1,6 +1,13 @@
 package service
 
-import "sync/atomic"
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"ingrass/internal/obs"
+	"ingrass/internal/solver"
+)
 
 // Stats holds the engine's lock-free counters. Readers and the writer
 // goroutine bump them concurrently; View materializes a consistent-enough
@@ -22,12 +29,43 @@ type Stats struct {
 	flushedDeletes atomic.Uint64
 	queueDepth     atomic.Int64
 
+	// Solver failure-mode counters, classified per finished solve (or solve
+	// column): exhausted iteration budgets, deadline expiries, and client
+	// cancellations — the 422/408/499 classes at the HTTP layer.
+	solveNoConv   atomic.Uint64
+	solveDeadline atomic.Uint64
+	solveCancel   atomic.Uint64
+
 	// Durability counters (zero on engines without a store).
 	walAppends     atomic.Uint64
 	walBytes       atomic.Uint64
 	walErrors      atomic.Uint64
 	checkpoints    atomic.Uint64
 	lastCheckpoint atomic.Uint64
+
+	// Latency/shape histograms, created when a metrics registry is attached
+	// (Options.Obs) and nil otherwise — every observe site records
+	// unconditionally through the nil-safe receivers, so the unwired cost is
+	// a few predicted branches.
+	solveDur   *obs.Histogram // per single-RHS solve, ns
+	blockDur   *obs.Histogram // per blocked multi-RHS execution, ns
+	solveIterH *obs.Histogram // outer FCG iterations per solve column
+}
+
+// recordSolveOutcome classifies one finished solve (or solve column) into
+// the failure-mode counters. Deadline expiry is checked before the general
+// cancellation class because solver.Cancelled wraps both causes under
+// ErrCancelled.
+func (s *Stats) recordSolveOutcome(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.solveDeadline.Add(1)
+	case errors.Is(err, solver.ErrCancelled):
+		s.solveCancel.Add(1)
+	case errors.Is(err, solver.ErrNoConvergence):
+		s.solveNoConv.Add(1)
+	}
 }
 
 // StatsView is a plain copy of the counters, JSON-friendly for /stats.
@@ -59,6 +97,14 @@ type StatsView struct {
 	FlushedDeletes uint64 `json:"flushed_deletes"`
 	// QueueDepth is the number of write requests awaiting a flush.
 	QueueDepth int64 `json:"queue_depth"`
+	// Solver failure-mode counters: iteration-budget exhaustion (HTTP 422),
+	// deadline expiry (408), and client cancellation (499).
+	SolveNoConvergence    uint64 `json:"solve_no_convergence"`
+	SolveDeadlineExceeded uint64 `json:"solve_deadline_exceeded"`
+	SolveCancelled        uint64 `json:"solve_cancelled"`
+	// SolveLatency digests the per-solve wall-clock histogram in seconds.
+	// Zero until a metrics registry is attached (Options.Obs).
+	SolveLatency obs.Summary `json:"solve_latency_seconds"`
 	// WALAppends / WALBytes count batches logged to the write-ahead log and
 	// their framed size; WALErrors counts failed appends (each one degrades
 	// durability until the next successful checkpoint). Checkpoints counts
@@ -84,24 +130,28 @@ type StatsView struct {
 // View snapshots the counters.
 func (s *Stats) View() StatsView {
 	return StatsView{
-		Generation:        s.generation.Load(),
-		Solves:            s.solves.Load(),
-		SolveIters:        s.solveIters.Load(),
-		PrecondBuilds:     s.precondBuilds.Load(),
-		PrecondReuses:     s.precondReuses.Load(),
-		ResistanceQueries: s.resistQueries.Load(),
-		CondQueries:       s.condQueries.Load(),
-		SparsifierExports: s.exports.Load(),
-		WriteRequests:     s.writeRequests.Load(),
-		WriteErrors:       s.writeErrors.Load(),
-		Flushes:           s.flushes.Load(),
-		FlushedAdds:       s.flushedAdds.Load(),
-		FlushedDeletes:    s.flushedDeletes.Load(),
-		QueueDepth:        s.queueDepth.Load(),
-		WALAppends:        s.walAppends.Load(),
-		WALBytes:          s.walBytes.Load(),
-		WALErrors:         s.walErrors.Load(),
-		Checkpoints:       s.checkpoints.Load(),
-		LastCheckpointGen: s.lastCheckpoint.Load(),
+		Generation:            s.generation.Load(),
+		Solves:                s.solves.Load(),
+		SolveIters:            s.solveIters.Load(),
+		PrecondBuilds:         s.precondBuilds.Load(),
+		PrecondReuses:         s.precondReuses.Load(),
+		ResistanceQueries:     s.resistQueries.Load(),
+		CondQueries:           s.condQueries.Load(),
+		SparsifierExports:     s.exports.Load(),
+		WriteRequests:         s.writeRequests.Load(),
+		WriteErrors:           s.writeErrors.Load(),
+		Flushes:               s.flushes.Load(),
+		FlushedAdds:           s.flushedAdds.Load(),
+		FlushedDeletes:        s.flushedDeletes.Load(),
+		QueueDepth:            s.queueDepth.Load(),
+		SolveNoConvergence:    s.solveNoConv.Load(),
+		SolveDeadlineExceeded: s.solveDeadline.Load(),
+		SolveCancelled:        s.solveCancel.Load(),
+		SolveLatency:          s.solveDur.Summarize(),
+		WALAppends:            s.walAppends.Load(),
+		WALBytes:              s.walBytes.Load(),
+		WALErrors:             s.walErrors.Load(),
+		Checkpoints:           s.checkpoints.Load(),
+		LastCheckpointGen:     s.lastCheckpoint.Load(),
 	}
 }

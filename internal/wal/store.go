@@ -178,7 +178,10 @@ func (st *Store) flushLoop() {
 		case <-ticker.C:
 			st.mu.Lock()
 			if !st.closed && st.dirty {
-				if err := st.active.Sync(); err == nil {
+				s0 := time.Now()
+				err := st.active.Sync()
+				st.opts.SyncDur.ObserveSince(s0)
+				if err == nil {
 					st.dirty = false
 				}
 			}
@@ -293,6 +296,8 @@ func (st *Store) sealActiveLocked() error {
 // policy, and rotates the segment if it outgrew Options.SegmentBytes. It
 // returns the framed size in bytes.
 func (st *Store) Append(rec BatchRecord) (int, error) {
+	start := time.Now()
+	defer st.opts.AppendDur.ObserveSince(start)
 	payload := rec.encode(nil)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -324,7 +329,10 @@ func (st *Store) Append(rec BatchRecord) (int, error) {
 
 	switch st.opts.Sync {
 	case SyncAlways:
-		if err := st.active.Sync(); err != nil {
+		s0 := time.Now()
+		err := st.active.Sync()
+		st.opts.SyncDur.ObserveSince(s0)
+		if err != nil {
 			return n, err
 		}
 	case SyncInterval:
@@ -393,6 +401,8 @@ func (st *Store) Replay(afterGen uint64, fn func(BatchRecord) error) error {
 // filters by generation, so a record at or below the checkpoint generation
 // is skipped wherever it lives.
 func (st *Store) WriteCheckpoint(ck Checkpoint) error {
+	start := time.Now()
+	defer st.opts.CheckpointDur.ObserveSince(start)
 	data, err := marshalCheckpoint(ck)
 	if err != nil {
 		return err
@@ -513,7 +523,10 @@ func (st *Store) Sync() error {
 	if st.closed {
 		return ErrClosed
 	}
-	if err := st.active.Sync(); err != nil {
+	s0 := time.Now()
+	err := st.active.Sync()
+	st.opts.SyncDur.ObserveSince(s0)
+	if err != nil {
 		return err
 	}
 	st.dirty = false

@@ -58,6 +58,8 @@ import (
 	"hash/crc32"
 	"io"
 	"time"
+
+	"ingrass/internal/obs"
 )
 
 // Typed failures of the durability layer.
@@ -122,6 +124,16 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the flush interval for SyncInterval. Default 100ms.
 	SyncEvery time.Duration
+
+	// AppendDur, SyncDur, and CheckpointDur, when non-nil, receive
+	// nanosecond wall-clock timings of record appends (framing through
+	// fsync), explicit fsyncs of the active segment, and checkpoint writes.
+	// obs histograms observe safely through nil receivers, so the store
+	// records unconditionally and an unwired store pays three predicted
+	// branches per append.
+	AppendDur     *obs.Histogram
+	SyncDur       *obs.Histogram
+	CheckpointDur *obs.Histogram
 }
 
 func (o Options) withDefaults() Options {

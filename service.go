@@ -9,6 +9,7 @@ import (
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
 	"ingrass/internal/grass"
+	"ingrass/internal/obs"
 	"ingrass/internal/service"
 	"ingrass/internal/wal"
 )
@@ -88,11 +89,19 @@ type ServiceOptions struct {
 	SegmentBytes int64
 }
 
-func (o ServiceOptions) walOptions() wal.Options {
+// walOptions builds the store configuration, registering the WAL timing
+// histograms in reg so fsync and checkpoint latency show up on /metrics.
+func (o ServiceOptions) walOptions(reg *obs.Registry) wal.Options {
 	return wal.Options{
 		SegmentBytes: o.SegmentBytes,
 		Sync:         wal.SyncPolicy(o.Fsync),
 		SyncEvery:    o.FsyncEvery,
+		AppendDur: reg.Histogram("ingrass_wal_append_duration_seconds",
+			"wall-clock latency of WAL batch appends (including any inline fsync)", obs.ScaleSeconds),
+		SyncDur: reg.Histogram("ingrass_wal_fsync_duration_seconds",
+			"wall-clock latency of WAL fsyncs", obs.ScaleSeconds),
+		CheckpointDur: reg.Histogram("ingrass_checkpoint_duration_seconds",
+			"wall-clock latency of full-state checkpoint writes", obs.ScaleSeconds),
 	}
 }
 
@@ -127,6 +136,7 @@ func (o ServiceOptions) engineOptions(sopts SolveOptions) service.Options {
 type Service struct {
 	eng       *service.Engine
 	store     *wal.Store // nil without DataDir
+	metrics   *obs.Registry
 	batchOpts BatchOptions
 	coalesce  bool // CoalesceSingles: single reads ride the scheduler
 }
@@ -141,12 +151,13 @@ type Service struct {
 // state: silently rebuilding over an existing log would orphan it, and
 // resuming it is LoadService's job.
 func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
+	metrics := obs.NewRegistry()
 	// Claim the data directory before the (potentially minutes-long) setup
 	// phase, so a directory that already holds state fails fast.
 	var store *wal.Store
 	if opts.DataDir != "" {
 		var err error
-		store, err = wal.Open(opts.DataDir, opts.walOptions())
+		store, err = wal.Open(opts.DataDir, opts.walOptions(metrics))
 		if err != nil {
 			return nil, fmt.Errorf("ingrass: open data dir: %w", err)
 		}
@@ -180,6 +191,7 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 		return fail(err)
 	}
 	eopts := opts.engineOptions(opts.Solve)
+	eopts.Obs = metrics
 	if store != nil {
 		// The generation-0 checkpoint makes the directory recoverable
 		// before the first write is ever logged.
@@ -191,6 +203,7 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 	return &Service{
 		eng:       service.New(sp, eopts),
 		store:     store,
+		metrics:   metrics,
 		batchOpts: opts.Batch,
 		coalesce:  opts.Batch.CoalesceSingles,
 	}, nil
@@ -213,11 +226,14 @@ func LoadService(opts ServiceOptions) (*Service, error) {
 	if opts.DataDir == "" {
 		return nil, fmt.Errorf("ingrass: LoadService requires DataDir")
 	}
-	store, err := wal.Open(opts.DataDir, opts.walOptions())
+	metrics := obs.NewRegistry()
+	store, err := wal.Open(opts.DataDir, opts.walOptions(metrics))
 	if err != nil {
 		return nil, fmt.Errorf("ingrass: open data dir: %w", err)
 	}
-	eng, err := service.Recover(store, opts.engineOptions(opts.Solve))
+	eopts := opts.engineOptions(opts.Solve)
+	eopts.Obs = metrics
+	eng, err := service.Recover(store, eopts)
 	if err != nil {
 		store.Close()
 		return nil, fmt.Errorf("ingrass: recover %s: %w", opts.DataDir, err)
@@ -225,6 +241,7 @@ func LoadService(opts ServiceOptions) (*Service, error) {
 	return &Service{
 		eng:       eng,
 		store:     store,
+		metrics:   metrics,
 		batchOpts: opts.Batch,
 		coalesce:  opts.Batch.CoalesceSingles,
 	}, nil
@@ -426,6 +443,32 @@ func (s *Service) OriginalSnapshot() (*Graph, uint64) {
 // Generation returns the currently served snapshot generation.
 func (s *Service) Generation() uint64 { return s.eng.Current().Gen }
 
+// Metrics returns the service's observability registry: every counter,
+// gauge, and latency histogram the process maintains, ready for Prometheus
+// text exposition (obs.Registry.WritePrometheus) or selective rendering
+// (WriteText). The registry is the single source of truth — Stats is a
+// point-in-time view over the same underlying values.
+func (s *Service) Metrics() *obs.Registry { return s.metrics }
+
+// LatencySummary digests a latency histogram for JSON reporting: count of
+// samples, their sum, tail quantiles, and the maximum, all in seconds.
+// Quantiles carry the histogram's bucket resolution (at most 12.5% relative
+// error).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+func fromSummary(s obs.Summary) LatencySummary {
+	return LatencySummary{Count: s.Count, Sum: s.Sum, P50: s.P50, P90: s.P90,
+		P99: s.P99, P999: s.P999, Max: s.Max}
+}
+
 // ServiceStats is a point-in-time copy of the engine counters.
 type ServiceStats struct {
 	Generation        uint64 `json:"generation"`
@@ -442,6 +485,14 @@ type ServiceStats struct {
 	FlushedAdds       uint64 `json:"flushed_adds"`
 	FlushedDeletes    uint64 `json:"flushed_deletes"`
 	QueueDepth        int64  `json:"queue_depth"`
+	// Solver failure-mode counters, one per finished solve column:
+	// iteration-budget exhaustion (served as HTTP 422), deadline expiry
+	// (408), and client cancellation (499).
+	SolveNoConvergence    uint64 `json:"solve_no_convergence"`
+	SolveDeadlineExceeded uint64 `json:"solve_deadline_exceeded"`
+	SolveCancelled        uint64 `json:"solve_cancelled"`
+	// SolveLatency digests the per-solve wall-clock histogram in seconds.
+	SolveLatency LatencySummary `json:"solve_latency_seconds"`
 	// Durability counters (zero without DataDir): logged batches, their
 	// framed bytes, failed appends, completed checkpoints, and the
 	// generation the newest checkpoint covers.
@@ -469,33 +520,37 @@ func (s *Service) Stats() ServiceStats {
 	v := s.eng.Stats()
 	snap := s.eng.Current()
 	return ServiceStats{
-		Generation:        v.Generation,
-		Solves:            v.Solves,
-		SolveIters:        v.SolveIters,
-		PrecondBuilds:     v.PrecondBuilds,
-		PrecondReuses:     v.PrecondReuses,
-		ResistanceQueries: v.ResistanceQueries,
-		CondQueries:       v.CondQueries,
-		SparsifierExports: v.SparsifierExports,
-		WriteRequests:     v.WriteRequests,
-		WriteErrors:       v.WriteErrors,
-		Flushes:           v.Flushes,
-		FlushedAdds:       v.FlushedAdds,
-		FlushedDeletes:    v.FlushedDeletes,
-		QueueDepth:        v.QueueDepth,
-		WALAppends:        v.WALAppends,
-		WALBytes:          v.WALBytes,
-		WALErrors:         v.WALErrors,
-		Checkpoints:       v.Checkpoints,
-		LastCheckpointGen: v.LastCheckpointGen,
-		BatchesFormed:     v.BatchesFormed,
-		RequestsCoalesced: v.RequestsCoalesced,
-		AvgBlockFill:      v.AvgBlockFill,
-		BatchQueueDepth:   v.BatchQueueDepth,
-		Nodes:             snap.G.NumNodes(),
-		GraphEdges:        snap.G.NumEdges(),
-		SparsifierEdges:   snap.H.NumEdges(),
-		Density:           graph.OffTreeDensity(snap.H.NumEdges(), snap.H.NumNodes(), snap.G.NumEdges()),
+		Generation:            v.Generation,
+		Solves:                v.Solves,
+		SolveIters:            v.SolveIters,
+		PrecondBuilds:         v.PrecondBuilds,
+		PrecondReuses:         v.PrecondReuses,
+		ResistanceQueries:     v.ResistanceQueries,
+		CondQueries:           v.CondQueries,
+		SparsifierExports:     v.SparsifierExports,
+		WriteRequests:         v.WriteRequests,
+		WriteErrors:           v.WriteErrors,
+		Flushes:               v.Flushes,
+		FlushedAdds:           v.FlushedAdds,
+		FlushedDeletes:        v.FlushedDeletes,
+		QueueDepth:            v.QueueDepth,
+		SolveNoConvergence:    v.SolveNoConvergence,
+		SolveDeadlineExceeded: v.SolveDeadlineExceeded,
+		SolveCancelled:        v.SolveCancelled,
+		SolveLatency:          fromSummary(v.SolveLatency),
+		WALAppends:            v.WALAppends,
+		WALBytes:              v.WALBytes,
+		WALErrors:             v.WALErrors,
+		Checkpoints:           v.Checkpoints,
+		LastCheckpointGen:     v.LastCheckpointGen,
+		BatchesFormed:         v.BatchesFormed,
+		RequestsCoalesced:     v.RequestsCoalesced,
+		AvgBlockFill:          v.AvgBlockFill,
+		BatchQueueDepth:       v.BatchQueueDepth,
+		Nodes:                 snap.G.NumNodes(),
+		GraphEdges:            snap.G.NumEdges(),
+		SparsifierEdges:       snap.H.NumEdges(),
+		Density:               graph.OffTreeDensity(snap.H.NumEdges(), snap.H.NumNodes(), snap.G.NumEdges()),
 	}
 }
 
