@@ -41,16 +41,25 @@ type benchResult struct {
 	AllocsOp int64   `json:"allocs_op"`
 	// SpeedupVsSerial is set on parallel entries that have a serial twin.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// Format and PaddingRatio are set on entries that freeze a
+	// sparse.LapOperator: the layout the freeze chose (resolving -format
+	// auto) and its SELL padding ratio.
+	Format       string  `json:"format,omitempty"`
+	PaddingRatio float64 `json:"padding_ratio,omitempty"`
 }
 
 // benchRun is one labeled invocation of the suite.
 type benchRun struct {
-	Label      string        `json:"label"`
-	Recorded   string        `json:"recorded"`
-	Go         string        `json:"go"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Note       string        `json:"note,omitempty"`
-	Results    []benchResult `json:"results"`
+	Label      string `json:"label"`
+	Recorded   string `json:"recorded"`
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Format is the requested -format flag value; SIMD reports whether the
+	// SIMD vecmath bodies were active for the run.
+	Format  string        `json:"format,omitempty"`
+	SIMD    bool          `json:"simd"`
+	Note    string        `json:"note,omitempty"`
+	Results []benchResult `json:"results"`
 }
 
 // benchFile is the committed trajectory: runs appended in chronological
@@ -66,13 +75,23 @@ func cmdBench(args []string) {
 	label := fs.String("label", "dev", "label for this run")
 	note := fs.String("note", "", "free-form note stored with the run")
 	stdout := fs.Bool("stdout", false, "print the run as JSON instead of appending to -out")
+	formatFlag := fs.String("format", "auto", "frozen operator storage layout: auto, csr, or sell")
+	simd := fs.Bool("simd", vecmath.SIMDActive(), "use the SIMD vecmath bodies (where supported)")
 	fs.Parse(args)
+
+	format, err := solver.ParseFormat(*formatFlag)
+	if err != nil {
+		fatal(err)
+	}
+	vecmath.SetSIMD(*simd)
 
 	run := benchRun{
 		Label:      *label,
 		Recorded:   time.Now().UTC().Format(time.RFC3339),
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Format:     format.String(),
+		SIMD:       vecmath.SIMDActive(),
 		Note:       *note,
 	}
 
@@ -96,7 +115,8 @@ func cmdBench(args []string) {
 
 	// --- SpMV: serial vs legacy spawn-per-call vs persistent pool --------
 	for _, n := range []int{10000, 100000} {
-		csr := graph.NewCSR(benchGrid(n))
+		grid := benchGrid(n)
+		csr := graph.NewCSR(grid)
 		x := make([]float64, csr.N)
 		dst := make([]float64, csr.N)
 		for i := range x {
@@ -126,6 +146,21 @@ func cmdBench(args []string) {
 					pool.LapMul(csr, part, dst, x)
 				}
 			})))
+		// Frozen-operator product under the requested -format, through the
+		// same Apply path the service serves (arena-backed SELL when chosen).
+		op := sparse.NewLapOperator(grid)
+		op.SetWorkers(procs)
+		op.SetFormat(format)
+		opRes := addPair(prefix, serial.NsOp,
+			measure(fmt.Sprintf("%s/op/%s/workers=%d", prefix, op.Format(), op.WorkerCount()), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					op.Apply(dst, x)
+				}
+			}))
+		opRes.Format = op.Format().String()
+		opRes.PaddingRatio = op.PaddingRatio()
+		run.Results = append(run.Results, opRes)
 	}
 
 	// social_ba's power-law degrees are the nnz-skew stress for the
@@ -170,7 +205,7 @@ func cmdBench(args []string) {
 		if workers > 1 {
 			name = fmt.Sprintf("solve_warm/grid16x16/parallel/workers=%d", workers)
 		}
-		eng, n := benchEngine(workers)
+		eng, n := benchEngine(workers, format)
 		rhs := make([]float64, n)
 		for i := range rhs {
 			rhs[i] = math.Sin(float64(i))
@@ -195,6 +230,9 @@ func cmdBench(args []string) {
 		if workers == 1 {
 			warmSerialNs = res.NsOp
 		}
+		sv := eng.Stats()
+		res.Format = sv.OperatorFormat
+		res.PaddingRatio = sv.OperatorPaddingRatio
 		run.Results = append(run.Results, res)
 		eng.Close()
 	}
@@ -208,7 +246,7 @@ func cmdBench(args []string) {
 	// win at that concurrency. A larger grid than the warm-solve gate so the
 	// shared CSR traversal has real structure to amortize.
 	{
-		eng, n := benchBatchEngine()
+		eng, n := benchBatchEngine(format)
 		snap := eng.Current()
 		// Per-client distinct RHS; warm every pool first.
 		mkRHS := func(c int) []float64 {
@@ -434,7 +472,7 @@ func benchTorus(side int) *graph.Graph {
 // amortizes) versus per-column vector passes (which it cannot); this
 // mesh-plus-moderate-sparsifier workload is the serving shape the engine
 // targets. The block width is 8, matching the 8-client acceptance point.
-func benchBatchEngine() (*service.Engine, int) {
+func benchBatchEngine(format solver.Format) (*service.Engine, int) {
 	g := benchTorus(64)
 	init, err := grass.InitialSparsifier(g, 0.3, 1)
 	if err != nil {
@@ -448,7 +486,7 @@ func benchBatchEngine() (*service.Engine, int) {
 		fatal(fmt.Errorf("bench: %w", err))
 	}
 	eng := service.New(sp, service.Options{
-		Solver: solver.Options{Workers: runtime.GOMAXPROCS(0)},
+		Solver: solver.Options{Workers: runtime.GOMAXPROCS(0), Format: format},
 		// 1ms window: wide enough that a wave of resubmitting clients
 		// refills the next group before it seals (the scheduler's
 		// busy-executor re-arm handles the sustained-load case; the window
@@ -460,7 +498,7 @@ func benchBatchEngine() (*service.Engine, int) {
 
 // benchEngine builds the 16x16-grid service engine the warm-solve gate
 // uses, with the given frozen solver parallelism.
-func benchEngine(workers int) (*service.Engine, int) {
+func benchEngine(workers int, format solver.Format) (*service.Engine, int) {
 	g := benchGrid(256)
 	init, err := grass.InitialSparsifier(g, 0.1, 1)
 	if err != nil {
@@ -473,5 +511,5 @@ func benchEngine(workers int) (*service.Engine, int) {
 	if err != nil {
 		fatal(fmt.Errorf("bench: %w", err))
 	}
-	return service.New(sp, service.Options{Solver: solver.Options{Workers: workers}}), g.NumNodes()
+	return service.New(sp, service.Options{Solver: solver.Options{Workers: workers, Format: format}}), g.NumNodes()
 }

@@ -61,6 +61,11 @@ func TestMetricsEndpointExposition(t *testing.T) {
 		"ingrass_generation 0",
 		"ingrass_solve_duration_seconds_count 1",
 		"ingrass_kernel_forks_total",
+		`ingrass_operator_format{format="csr"} 1`,
+		`ingrass_operator_format{format="sell"} 0`,
+		`ingrass_spmv_duration_seconds_count{format="csr"}`,
+		`ingrass_spmv_duration_seconds_count{format="sell"} 0`,
+		"ingrass_operator_arena_reserved_bytes 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)

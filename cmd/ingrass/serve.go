@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ingrass"
+	"ingrass/internal/solver"
 )
 
 // cmdServe runs the HTTP front-end over a Service: snapshot-isolated reads
@@ -39,11 +40,15 @@ func cmdServe(args []string) {
 	fsyncEvery := fs.Duration("fsync-every", 100*time.Millisecond, "flush interval for -fsync=interval")
 	segmentBytes := fs.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
 	ckptEvery := fs.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval with -data-dir (0 = only on shutdown)")
+	format := fs.String("format", "auto", "frozen operator storage layout: auto, csr, or sell")
 	coalesce := fs.Bool("coalesce", true, "coalesce concurrent single solves into blocked multi-RHS executions")
 	batchWindow := fs.Duration("batch-window", 200*time.Microsecond, "coalescing window for the batched query engine")
 	batchMax := fs.Int("batch-max", 8, "widest coalesced block (capped at 16)")
 	_ = fs.Parse(args)
 
+	if _, err := solver.ParseFormat(*format); err != nil {
+		fatal(err)
+	}
 	opts := ingrass.ServiceOptions{
 		Options: ingrass.Options{
 			InitialDensity: *density,
@@ -52,6 +57,7 @@ func cmdServe(args []string) {
 		},
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flushEvery,
+		Solve:         ingrass.SolveOptions{Format: *format},
 		Batch: ingrass.BatchOptions{
 			Window:          *batchWindow,
 			MaxBlock:        *batchMax,

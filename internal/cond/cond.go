@@ -92,8 +92,10 @@ func Estimate(ctx context.Context, g, h *graph.Graph, opts Options) (Result, err
 
 	gOp := sparse.NewLapOperator(g)
 	gOp.SetWorkers(o.Solver.Workers)
+	gOp.SetFormat(o.Solver.Format)
 	hOp := sparse.NewLapOperator(h)
 	hOp.SetWorkers(o.Solver.Workers)
+	hOp.SetFormat(o.Solver.Format)
 	hSolver := sparse.NewLaplacianSolver(h, o.Solver)
 	gSolver := sparse.NewLaplacianSolver(g, o.Solver)
 

@@ -1,0 +1,62 @@
+package graph
+
+// Alloc is the allocator contract frozen-operator construction accepts.
+// The concrete implementation is kernel.Arena (a page-aligned bump
+// allocator); graph cannot import kernel — kernel's SpMV bodies import
+// graph — so the dependency is inverted through this three-method
+// interface. A nil Alloc everywhere means plain heap allocation.
+type Alloc interface {
+	Float64(n int) []float64
+	Int(n int) []int
+	Int32(n int) []int32
+}
+
+func allocFloat64(a Alloc, n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	return a.Float64(n)
+}
+
+func allocInt(a Alloc, n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return a.Int(n)
+}
+
+func allocInt32(a Alloc, n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	return a.Int32(n)
+}
+
+// ArenaBytes returns the exact payload footprint of this CSR's arrays —
+// what CompactInto will draw from an allocator (excluding per-allocation
+// alignment padding).
+func (c *CSR) ArenaBytes() int {
+	return 8 * (len(c.RowPtr) + len(c.ColIdx) + len(c.Weights) + len(c.Degree)) // ints and float64s are both 8B
+}
+
+// CompactInto copies the frozen CSR arrays into alloc-provided storage and
+// returns the compacted view. The source is built by NewCSR's two-pass
+// assembly as four separate heap objects; compacting them into one arena
+// block keeps the three arrays an SpMV streams in lockstep (RowPtr, ColIdx,
+// Weights) physically adjacent and lets a snapshot generation release the
+// whole operator as a single allocation. The copy is O(nnz), noise next to
+// the factorization built on top.
+func (c *CSR) CompactInto(alloc Alloc) *CSR {
+	out := &CSR{
+		N:       c.N,
+		RowPtr:  allocInt(alloc, len(c.RowPtr)),
+		ColIdx:  allocInt(alloc, len(c.ColIdx)),
+		Weights: allocFloat64(alloc, len(c.Weights)),
+		Degree:  allocFloat64(alloc, len(c.Degree)),
+	}
+	copy(out.RowPtr, c.RowPtr)
+	copy(out.ColIdx, c.ColIdx)
+	copy(out.Weights, c.Weights)
+	copy(out.Degree, c.Degree)
+	return out
+}

@@ -1,0 +1,119 @@
+package kernel
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Arena is a page-aligned bump allocator for the frozen, pointer-free
+// arrays an operator owns for its whole lifetime: CSR row pointers, column
+// indices and weights, SELL-C-σ slices, and the kernel partition tables.
+//
+// Why not plain make: a frozen operator's arrays are built by a dozen
+// separate allocations that the heap scatters across spans, so the SpMV
+// streams — RowPtr, ColIdx, Weights read in lockstep — interleave across
+// distant pages, and each snapshot generation pins a constellation of
+// small objects the GC must trace and reclaim individually. An Arena packs
+// all of them into one page-aligned block (hugepage-friendly: a single
+// contiguous range the OS can back with large TLB entries), so the operator
+// is one object to the GC and is released as a unit when its snapshot
+// generation is evicted.
+//
+// Arenas hold only scalar data (float64/int/int32) — never pointers — so
+// the GC treats the backing block as opaque bytes. Sub-slices handed out by
+// Float64/Int/Int32 keep the whole block alive; dropping the operator (and
+// with it every sub-slice) frees the block in one sweep.
+//
+// An Arena is not safe for concurrent allocation; it is populated once at
+// operator freeze time and read-only afterwards.
+type Arena struct {
+	blocks [][]byte // backing blocks; blocks[0] sized by the caller's hint
+	cur    []byte   // aligned active region of the newest block
+	off    int      // bump offset into cur
+	used   int      // bytes handed out across all blocks
+}
+
+const (
+	arenaPage  = 4096 // block base alignment (one small page)
+	arenaAlign = 64   // per-allocation alignment (one cache line)
+)
+
+// NewArena reserves a page-aligned block of at least hint bytes. Size the
+// hint from exact array lengths (see sparse.LapOperator's freeze path): a
+// correct hint keeps the whole operator in one contiguous block.
+// Allocations beyond the hint chain additional blocks rather than failing,
+// so an undersized hint costs contiguity, never correctness.
+func NewArena(hint int) *Arena {
+	a := &Arena{}
+	if hint < arenaPage {
+		hint = arenaPage
+	}
+	a.grow(hint)
+	return a
+}
+
+// grow appends a fresh block with at least need usable bytes after page
+// alignment.
+func (a *Arena) grow(need int) {
+	raw := make([]byte, need+arenaPage-1)
+	pad := int(-uintptr(unsafe.Pointer(unsafe.SliceData(raw))) & (arenaPage - 1))
+	a.blocks = append(a.blocks, raw)
+	a.cur = raw[pad:]
+	a.off = 0
+}
+
+// take returns a pointer to size bytes, cache-line aligned, growing if the
+// active block cannot hold them.
+func (a *Arena) take(size int) unsafe.Pointer {
+	if size < 0 {
+		panic(fmt.Sprintf("kernel: arena allocation of %d bytes", size))
+	}
+	off := (a.off + arenaAlign - 1) &^ (arenaAlign - 1)
+	if off+size > len(a.cur) {
+		a.grow(size)
+		off = 0
+	}
+	a.off = off + size
+	a.used += size
+	return unsafe.Pointer(unsafe.SliceData(a.cur[off:]))
+}
+
+// Float64 allocates a zeroed []float64 of length n from the arena.
+func (a *Arena) Float64(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(a.take(8*n)), n)
+}
+
+// Int allocates a zeroed []int of length n from the arena.
+func (a *Arena) Int(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int)(a.take(8*n)), n)
+}
+
+// Int32 allocates a zeroed []int32 of length n from the arena.
+func (a *Arena) Int32(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(a.take(4*n)), n)
+}
+
+// Used reports the bytes handed out (excluding alignment padding).
+func (a *Arena) Used() int { return a.used }
+
+// Reserved reports the total backing bytes across all blocks.
+func (a *Arena) Reserved() int {
+	var t int
+	for _, b := range a.blocks {
+		t += len(b)
+	}
+	return t
+}
+
+// Blocks reports how many backing blocks the arena chained; 1 means every
+// allocation landed in the single contiguous block the hint reserved.
+func (a *Arena) Blocks() int { return len(a.blocks) }

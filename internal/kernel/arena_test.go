@@ -1,0 +1,81 @@
+package kernel
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestArenaAlignment(t *testing.T) {
+	a := NewArena(1 << 16)
+	base := uintptr(unsafe.Pointer(unsafe.SliceData(a.cur)))
+	if base%arenaPage != 0 {
+		t.Fatalf("arena block base %#x not page aligned", base)
+	}
+	f := a.Float64(3)
+	i := a.Int(5)
+	i32 := a.Int32(7)
+	for _, p := range []uintptr{
+		uintptr(unsafe.Pointer(unsafe.SliceData(f))),
+		uintptr(unsafe.Pointer(unsafe.SliceData(i))),
+		uintptr(unsafe.Pointer(unsafe.SliceData(i32))),
+	} {
+		if p%arenaAlign != 0 {
+			t.Fatalf("allocation %#x not cache-line aligned", p)
+		}
+	}
+}
+
+func TestArenaSlicesAreDisjointAndZeroed(t *testing.T) {
+	a := NewArena(1 << 12)
+	f := a.Float64(64)
+	g := a.Float64(64)
+	for i := range f {
+		f[i] = float64(i + 1)
+	}
+	for i, v := range g {
+		if v != 0 {
+			t.Fatalf("g[%d] = %v after writing f; slices overlap or not zeroed", i, v)
+		}
+	}
+	ints := a.Int(16)
+	for i := range ints {
+		ints[i] = -i
+	}
+	if f[0] != 1 || f[63] != 64 {
+		t.Fatalf("f corrupted by later allocations: f[0]=%v f[63]=%v", f[0], f[63])
+	}
+}
+
+func TestArenaSingleBlockWithinHint(t *testing.T) {
+	a := NewArena(1 << 16)
+	a.Float64(1000) // 8000B
+	a.Int(1000)     // 8000B
+	a.Int32(1000)   // 4000B
+	if a.Blocks() != 1 {
+		t.Fatalf("hinted arena chained %d blocks, want 1", a.Blocks())
+	}
+	if a.Used() != 20000 {
+		t.Fatalf("used = %d, want 20000", a.Used())
+	}
+}
+
+func TestArenaGrowsBeyondHint(t *testing.T) {
+	a := NewArena(arenaPage)
+	big := a.Float64(1 << 16) // far beyond the one-page hint
+	big[0], big[len(big)-1] = 1, 2
+	small := a.Float64(8)
+	small[7] = 3
+	if a.Blocks() < 2 {
+		t.Fatalf("expected chained blocks after overflow, got %d", a.Blocks())
+	}
+	if big[0] != 1 || big[len(big)-1] != 2 || small[7] != 3 {
+		t.Fatal("data corrupted across block growth")
+	}
+}
+
+func TestArenaZeroLength(t *testing.T) {
+	a := NewArena(arenaPage)
+	if a.Float64(0) != nil || a.Int(0) != nil || a.Int32(0) != nil {
+		t.Fatal("zero-length allocations should be nil")
+	}
+}

@@ -117,32 +117,26 @@ func (p *Pool) AdjMul(c *graph.CSR, part []int, dst, x []float64) {
 // --- Fused vector kernels --------------------------------------------------
 //
 // Parallel reductions accumulate one padded partial per worker and sum the
-// partials in worker order: deterministic for a fixed pool width, though
-// not bit-identical to the serial left-to-right order (callers tolerate
-// reduction rounding by construction — CG convergence checks, Rayleigh
-// quotients). The element-wise kernels are bit-identical to their serial
-// counterparts.
+// partials in worker order: deterministic for a fixed pool width (and fixed
+// vecmath dispatch state), though not bit-identical to the serial
+// left-to-right order (callers tolerate reduction rounding by construction
+// — CG convergence checks, Rayleigh quotients). The element-wise kernels
+// are bit-identical to their serial counterparts.
+//
+// Each share delegates its span to the corresponding vecmath kernel on
+// subslices, so the AVX2 bodies (when active) run inside worker spans too —
+// the pooled and serial paths always use the same innermost loops.
 
 func dotShare(p *Pool, w int) {
 	j := &p.job
 	lo, hi := p.span(w, j.n)
-	var s float64
-	a, b := j.x, j.y
-	for i := lo; i < hi; i++ {
-		s += a[i] * b[i]
-	}
-	p.partial[w].a = s
+	p.partial[w].a = vecmath.Dot(j.x[lo:hi], j.y[lo:hi])
 }
 
 func dot2Share(p *Pool, w int) {
 	j := &p.job
 	lo, hi := p.span(w, j.n)
-	var sx, sy float64
-	a, x, y := j.dst, j.x, j.y
-	for i := lo; i < hi; i++ {
-		sx += a[i] * x[i]
-		sy += a[i] * y[i]
-	}
+	sx, sy := vecmath.Dot2(j.dst[lo:hi], j.x[lo:hi], j.y[lo:hi])
 	p.partial[w].a = sx
 	p.partial[w].b = sy
 }
@@ -150,24 +144,13 @@ func dot2Share(p *Pool, w int) {
 func axpy2Share(p *Pool, w int) {
 	j := &p.job
 	lo, hi := p.span(w, j.n)
-	x, r, pv, ap, alpha := j.dst, j.z, j.x, j.y, j.alpha
-	var s float64
-	for i := lo; i < hi; i++ {
-		x[i] += alpha * pv[i]
-		ri := r[i] - alpha*ap[i]
-		r[i] = ri
-		s += ri * ri
-	}
-	p.partial[w].a = s
+	p.partial[w].a = vecmath.AXPY2(j.dst[lo:hi], j.z[lo:hi], j.alpha, j.x[lo:hi], j.y[lo:hi])
 }
 
 func xpbyShare(p *Pool, w int) {
 	j := &p.job
 	lo, hi := p.span(w, j.n)
-	dst, x, beta := j.dst, j.x, j.beta
-	for i := lo; i < hi; i++ {
-		dst[i] = x[i] + beta*dst[i]
-	}
+	vecmath.XPBYInto(j.dst[lo:hi], j.x[lo:hi], j.beta)
 }
 
 // Dot returns the inner product of a and b, forking above the cutover.

@@ -79,16 +79,16 @@ func (p *Pool) LapMulMulti(c *graph.CSR, part []int, dst, x [][]float64) {
 
 // --- Fused multi-vector reductions and updates -----------------------------
 
+// The multi shares delegate each column's span to the single-vector
+// vecmath kernels on subslices (same innermost loops as the single-vector
+// shares, AVX2 included when active), keeping the per-column ≡
+// single-vector bit-identity by construction.
+
 func dotMultiShare(p *Pool, w int) {
 	j := &p.job
 	lo, hi := p.span(w, j.n)
 	for col := range j.mx {
-		a, b := j.mx[col], j.my[col]
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i] * b[i]
-		}
-		p.partialM[w].a[col] = s
+		p.partialM[w].a[col] = vecmath.Dot(j.mx[col][lo:hi], j.my[col][lo:hi])
 	}
 }
 
@@ -96,12 +96,7 @@ func dot2MultiShare(p *Pool, w int) {
 	j := &p.job
 	lo, hi := p.span(w, j.n)
 	for col := range j.mdst {
-		a, x, y := j.mdst[col], j.mx[col], j.my[col]
-		var sx, sy float64
-		for i := lo; i < hi; i++ {
-			sx += a[i] * x[i]
-			sy += a[i] * y[i]
-		}
+		sx, sy := vecmath.Dot2(j.mdst[col][lo:hi], j.mx[col][lo:hi], j.my[col][lo:hi])
 		p.partialM[w].a[col] = sx
 		p.partialM[w].b[col] = sy
 	}
@@ -111,15 +106,8 @@ func axpy2MultiShare(p *Pool, w int) {
 	j := &p.job
 	lo, hi := p.span(w, j.n)
 	for col := range j.mx {
-		x, r, pv, ap, alpha := j.mdst[col], j.mz[col], j.mx[col], j.my[col], j.mscal[col]
-		var s float64
-		for i := lo; i < hi; i++ {
-			x[i] += alpha * pv[i]
-			ri := r[i] - alpha*ap[i]
-			r[i] = ri
-			s += ri * ri
-		}
-		p.partialM[w].a[col] = s
+		p.partialM[w].a[col] = vecmath.AXPY2(
+			j.mdst[col][lo:hi], j.mz[col][lo:hi], j.mscal[col], j.mx[col][lo:hi], j.my[col][lo:hi])
 	}
 }
 
@@ -127,10 +115,7 @@ func xpbyMultiShare(p *Pool, w int) {
 	j := &p.job
 	lo, hi := p.span(w, j.n)
 	for col := range j.mdst {
-		dst, x, beta := j.mdst[col], j.mx[col], j.mscal[col]
-		for i := lo; i < hi; i++ {
-			dst[i] = x[i] + beta*dst[i]
-		}
+		vecmath.XPBYInto(j.mdst[col][lo:hi], j.mx[col][lo:hi], j.mscal[col])
 	}
 }
 

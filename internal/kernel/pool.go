@@ -49,7 +49,8 @@ type kernelFn func(p *Pool, w int)
 // publishing a job stores slices and scalars but never allocates.
 type job struct {
 	csr  *graph.CSR
-	part []int // row partition for SpMV, len workers+1
+	sell *graph.SELL // sliced-layout operand of the *SELL kernels
+	part []int       // SpMV partition, len workers+1: rows (CSR) or chunks (SELL)
 
 	dst, x, y, z []float64
 	alpha, beta  float64

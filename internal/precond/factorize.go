@@ -44,6 +44,7 @@ func Factorize(h *graph.Graph, opts solver.Options) (*Factorization, error) {
 	}
 	hop := sparse.NewLapOperator(h)
 	hop.SetWorkers(opts.Workers)
+	hop.SetFormat(opts.Format)
 	f := &Factorization{
 		n:    h.NumNodes(),
 		hop:  hop,
@@ -61,6 +62,12 @@ func Factorize(h *graph.Graph, opts solver.Options) (*Factorization, error) {
 
 // Dim returns the node count of the factorized sparsifier.
 func (f *Factorization) Dim() int { return f.n }
+
+// Operator returns the frozen Laplacian operator of the factorized
+// sparsifier. Callers may inspect its format/arena stats or install an
+// SpMV observer before the factorization is shared; the operator itself is
+// read-only.
+func (f *Factorization) Operator() *sparse.LapOperator { return f.hop }
 
 // Options returns the factorization's effective (defaults-applied) options.
 func (f *Factorization) Options() solver.Options { return f.opts }
@@ -118,7 +125,9 @@ func (f *Factorization) Solve(ctx context.Context, sys sparse.Operator, x, b []f
 // operator per call (O(N+E)), so prefer Solve with a cached operator for
 // repeated systems.
 func (f *Factorization) SolveGraph(ctx context.Context, g *graph.Graph, x, b []float64, opts solver.Options) (SolveResult, error) {
+	eff := f.opts.Override(opts)
 	gop := sparse.NewLapOperator(g)
-	gop.SetWorkers(f.opts.Override(opts).Workers)
+	gop.SetWorkers(eff.Workers)
+	gop.SetFormat(eff.Format)
 	return f.Solve(ctx, gop, x, b, opts)
 }

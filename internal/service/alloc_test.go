@@ -57,6 +57,44 @@ func TestWarmSolveAllocationFree(t *testing.T) {
 	}
 }
 
+// TestWarmSolveAllocationFreeSELL pins the same zero-allocation budget on
+// the SELL-frozen operator path: the arena-backed SELL build happens once at
+// factorization, so warm solves through the column-major chunk kernels must
+// be exactly as allocation-free as the CSR path.
+func TestWarmSolveAllocationFreeSELL(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are not meaningful")
+	}
+	e := newEngine(t, 16, 16, Options{Solver: solver.Options{Format: solver.FormatSELL}})
+	snap := e.Current()
+	if err := snap.ensureFactorized(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.gop.Format(); got != solver.FormatSELL {
+		t.Fatalf("engine froze %v, want forced SELL", got)
+	}
+	n := snap.G.NumNodes()
+	rhs := warmRHS(n)
+	x := make([]float64, n)
+	ctx := context.Background()
+	opts := solver.Options{Tol: 1e-8}
+
+	for i := 0; i < 3; i++ {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := snap.SolveInto(ctx, x, rhs, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1.0 {
+		t.Fatalf("warm SELL SolveInto allocates %.2f objects/op, want ~0", allocs)
+	}
+}
+
 // TestWarmSolveAllocationFreeWithWAL pins the same zero-allocation budget
 // with durability enabled: the WAL sits on the write path only, so warm
 // solves must not pick up a single allocation from it — even on an engine

@@ -1,8 +1,11 @@
 package service
 
 import (
+	"math"
+
 	"ingrass/internal/kernel"
 	"ingrass/internal/obs"
+	"ingrass/internal/solver"
 )
 
 // The engine's exposition wiring. The obs registry is the single source of
@@ -31,6 +34,12 @@ func (e *Engine) initHistograms(reg *obs.Registry) {
 	blockFill := reg.Histogram("ingrass_batch_block_fill",
 		"right-hand sides per executed blocked group", obs.ScaleNone)
 	e.opts.Batch.OnGroup = func(w int) { blockFill.Observe(int64(w)) }
+	e.stats.spmvDurCSR = reg.Histogram("ingrass_spmv_duration_seconds",
+		"wall-clock latency of frozen-operator SpMV applications by storage format",
+		obs.ScaleSeconds, obs.Label{Key: "format", Value: "csr"})
+	e.stats.spmvDurSELL = reg.Histogram("ingrass_spmv_duration_seconds",
+		"wall-clock latency of frozen-operator SpMV applications by storage format",
+		obs.ScaleSeconds, obs.Label{Key: "format", Value: "sell"})
 }
 
 // registerBridges exposes the engine's existing atomic counters through reg.
@@ -71,6 +80,25 @@ func (e *Engine) registerBridges(reg *obs.Registry) {
 		func() float64 { return float64(e.stats.lastCheckpoint.Load()) })
 	reg.GaugeFunc("ingrass_write_queue_depth", "write requests awaiting a flush",
 		func() float64 { return float64(e.stats.queueDepth.Load()) })
+
+	// Operator build info: one series per storage format, 1 on the format the
+	// served generation froze (build-info idiom — the label carries the value).
+	opFmt := func(want solver.Format) func() float64 {
+		return func() float64 {
+			if solver.Format(e.stats.opFormat.Load()) == want {
+				return 1
+			}
+			return 0
+		}
+	}
+	reg.GaugeFunc("ingrass_operator_format", "storage format of the served generation's frozen operators (1 = active)",
+		opFmt(solver.FormatCSR), obs.Label{Key: "format", Value: "csr"})
+	reg.GaugeFunc("ingrass_operator_format", "storage format of the served generation's frozen operators (1 = active)",
+		opFmt(solver.FormatSELL), obs.Label{Key: "format", Value: "sell"})
+	reg.GaugeFunc("ingrass_operator_sell_padding_ratio", "padding fraction of the SELL-frozen operator (0 under CSR)",
+		func() float64 { return math.Float64frombits(e.stats.opPadding.Load()) })
+	reg.GaugeFunc("ingrass_operator_arena_reserved_bytes", "arena bytes reserved by the served generation's frozen operators",
+		func() float64 { return float64(e.stats.arenaBytes.Load()) })
 
 	ctr("ingrass_batch_groups_total", "executed blocked multi-RHS groups",
 		func() uint64 { return e.sched.Stats().BatchesFormed })

@@ -53,9 +53,20 @@ func (s *Snapshot) ensureFactorized() error {
 		first = true
 		gop := sparse.NewLapOperator(s.G)
 		gop.SetWorkers(s.sopts.Workers)
+		gop.SetFormat(s.sopts.Format)
+		if f := s.stats.spmvObserver(gop.Format()); f != nil {
+			gop.SetSpMVObserver(f)
+		}
 		s.gop = gop
 		s.proj = &sparse.ProjectedOperator{Inner: gop}
 		s.fact, s.factErr = precond.Factorize(s.H, s.sopts)
+		if s.factErr == nil {
+			hop := s.fact.Operator()
+			if f := s.stats.spmvObserver(hop.Format()); f != nil {
+				hop.SetSpMVObserver(f)
+			}
+			s.stats.noteOperators(gop, hop)
+		}
 		s.stats.precondBuilds.Add(1)
 	})
 	if !first && s.factErr == nil {

@@ -3,10 +3,13 @@ package service
 import (
 	"context"
 	"errors"
+	"math"
 	"sync/atomic"
+	"time"
 
 	"ingrass/internal/obs"
 	"ingrass/internal/solver"
+	"ingrass/internal/sparse"
 )
 
 // Stats holds the engine's lock-free counters. Readers and the writer
@@ -43,6 +46,14 @@ type Stats struct {
 	checkpoints    atomic.Uint64
 	lastCheckpoint atomic.Uint64
 
+	// Frozen-operator shape of the generation currently served, recorded at
+	// factorization time: the storage format of the G operator, its SELL
+	// padding ratio (Float64bits), and the arena bytes reserved across the
+	// G and H operators (0 when CSR-frozen, which allocates on the heap).
+	opFormat   atomic.Uint32
+	opPadding  atomic.Uint64
+	arenaBytes atomic.Uint64
+
 	// Latency/shape histograms, created when a metrics registry is attached
 	// (Options.Obs) and nil otherwise — every observe site records
 	// unconditionally through the nil-safe receivers, so the unwired cost is
@@ -50,6 +61,36 @@ type Stats struct {
 	solveDur   *obs.Histogram // per single-RHS solve, ns
 	blockDur   *obs.Histogram // per blocked multi-RHS execution, ns
 	solveIterH *obs.Histogram // outer FCG iterations per solve column
+
+	// Per-format SpMV duration histograms; frozen operators of each format
+	// feed their own series, so /metrics attributes kernel time to the
+	// layout that produced it.
+	spmvDurCSR  *obs.Histogram
+	spmvDurSELL *obs.Histogram
+}
+
+// noteOperators records the frozen shape of a generation's operators after
+// factorization.
+func (s *Stats) noteOperators(gop, hop *sparse.LapOperator) {
+	s.opFormat.Store(uint32(gop.Format()))
+	s.opPadding.Store(math.Float64bits(gop.PaddingRatio()))
+	_, gr, _ := gop.ArenaStats()
+	_, hr, _ := hop.ArenaStats()
+	s.arenaBytes.Store(uint64(gr + hr))
+}
+
+// spmvObserver returns the SpMV wall-time observer for operators frozen in
+// format f, or nil when no metrics registry is attached (keeping the hot
+// path free of timing calls).
+func (s *Stats) spmvObserver(f solver.Format) func(time.Duration) {
+	h := s.spmvDurCSR
+	if f == solver.FormatSELL {
+		h = s.spmvDurSELL
+	}
+	if h == nil {
+		return nil
+	}
+	return func(d time.Duration) { h.Observe(int64(d)) }
 }
 
 // recordSolveOutcome classifies one finished solve (or solve column) into
@@ -105,6 +146,13 @@ type StatsView struct {
 	// SolveLatency digests the per-solve wall-clock histogram in seconds.
 	// Zero until a metrics registry is attached (Options.Obs).
 	SolveLatency obs.Summary `json:"solve_latency_seconds"`
+	// OperatorFormat names the frozen sparse layout ("csr" or "sell") of the
+	// generation currently served; OperatorPaddingRatio its SELL padding
+	// fraction (0 for CSR) and OperatorArenaBytes the arena bytes reserved
+	// across the G and H operators (0 when CSR-frozen).
+	OperatorFormat       string  `json:"operator_format"`
+	OperatorPaddingRatio float64 `json:"operator_padding_ratio"`
+	OperatorArenaBytes   uint64  `json:"operator_arena_bytes"`
 	// WALAppends / WALBytes count batches logged to the write-ahead log and
 	// their framed size; WALErrors counts failed appends (each one degrades
 	// durability until the next successful checkpoint). Checkpoints counts
@@ -148,6 +196,9 @@ func (s *Stats) View() StatsView {
 		SolveDeadlineExceeded: s.solveDeadline.Load(),
 		SolveCancelled:        s.solveCancel.Load(),
 		SolveLatency:          s.solveDur.Summarize(),
+		OperatorFormat:        solver.Format(s.opFormat.Load()).String(),
+		OperatorPaddingRatio:  math.Float64frombits(s.opPadding.Load()),
+		OperatorArenaBytes:    s.arenaBytes.Load(),
 		WALAppends:            s.walAppends.Load(),
 		WALBytes:              s.walBytes.Load(),
 		WALErrors:             s.walErrors.Load(),

@@ -75,6 +75,49 @@ type Options struct {
 	// shared factorizations freeze their worker count, so a per-request
 	// override cannot race against concurrent solves.
 	Workers int
+	// Format selects the frozen operator's sparse storage layout. Like
+	// Workers it is honored at operator/factorization construction time
+	// (sparse.LapOperator.SetFormat): FormatAuto lets the freeze path pick
+	// by padding-ratio heuristic, FormatCSR/FormatSELL force a layout.
+	Format Format
+}
+
+// Format names a frozen sparse-operator storage layout.
+type Format uint8
+
+const (
+	// FormatAuto defers the CSR/SELL choice to the freeze-time heuristic
+	// (operator size and predicted SELL padding ratio).
+	FormatAuto Format = iota
+	// FormatCSR forces the row-major compressed-sparse-row layout.
+	FormatCSR
+	// FormatSELL forces the sliced-ELLPACK (SELL-C-σ) layout.
+	FormatSELL
+)
+
+// String returns the CLI/metrics name of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatCSR:
+		return "csr"
+	case FormatSELL:
+		return "sell"
+	default:
+		return "auto"
+	}
+}
+
+// ParseFormat maps a CLI/JSON name onto a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "auto":
+		return FormatAuto, nil
+	case "csr":
+		return FormatCSR, nil
+	case "sell":
+		return FormatSELL, nil
+	}
+	return FormatAuto, fmt.Errorf("solver: unknown operator format %q (want auto, csr, or sell)", s)
 }
 
 // WithDefaults fills unset fields for a system of dimension n. Only the
@@ -121,6 +164,9 @@ func (o Options) Override(req Options) Options {
 	if req.Workers > 0 {
 		o.Workers = req.Workers
 	}
+	if req.Format != FormatAuto {
+		o.Format = req.Format
+	}
 	return o
 }
 
@@ -128,5 +174,5 @@ func (o Options) Override(req Options) Options {
 // solve. Call it on an Options that already has defaults applied, so
 // InnerIters/InnerTol are set.
 func (o Options) Inner() Options {
-	return Options{Tol: o.InnerTol, MaxIter: o.InnerIters, Workers: o.Workers}
+	return Options{Tol: o.InnerTol, MaxIter: o.InnerIters, Workers: o.Workers, Format: o.Format}
 }

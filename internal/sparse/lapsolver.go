@@ -40,6 +40,7 @@ type LaplacianSolver struct {
 func NewLaplacianSolver(g *graph.Graph, opts solver.Options) *LaplacianSolver {
 	lop := NewLapOperator(g)
 	lop.SetWorkers(opts.Workers)
+	lop.SetFormat(opts.Format)
 	return NewLaplacianSolverFromOperator(lop, opts)
 }
 

@@ -11,6 +11,8 @@
 package sparse
 
 import (
+	"time"
+
 	"ingrass/internal/graph"
 	"ingrass/internal/kernel"
 	"ingrass/internal/solver"
@@ -81,7 +83,12 @@ func (j *Jacobi) PrecondBlock(dst, src [][]float64) {
 // Parallelism is frozen with SetWorkers before the operator is shared:
 // it pins the kernel pool and precomputes the nnz-balanced row partition
 // once, so every subsequent Apply dispatches without allocating and
-// concurrent solves all observe the same degree.
+// concurrent solves all observe the same degree. Storage layout is frozen
+// the same way with SetFormat: choosing SELL rebuilds the operator arrays —
+// CSR, the sliced SELL view, and both partition tables — inside one
+// page-aligned kernel.Arena block, and every subsequent Apply/ApplyBlock
+// dispatches over the sliced layout. All products stay bit-identical to
+// serial CSR regardless of format or parallelism.
 type LapOperator struct {
 	CSR *graph.CSR
 
@@ -89,9 +96,29 @@ type LapOperator struct {
 	kern    *kernel.Pool // nil when serial
 	part    []int        // nnz-balanced row partition, len kern.Workers()+1
 
+	sell      *graph.SELL   // non-nil iff the frozen format is SELL
+	chunkPart []int         // slot-balanced chunk partition (SELL + pool only)
+	arena     *kernel.Arena // owns the frozen arrays when format is SELL
+	padRatio  float64       // predicted (CSR) or actual (SELL) padding ratio
+
+	// spmvObs, when set, observes the wall time of every Apply/ApplyBlock —
+	// the service layer bridges it into the per-format SpMV histogram. Nil
+	// (the default) adds no timing calls to the hot path.
+	spmvObs func(time.Duration)
+
 	jac  *Jacobi
 	pool *solver.Pool
 }
+
+// Freeze-time auto-format heuristic: SELL pays off when the operator is
+// big enough for layout to matter and the σ-sorted padding stays a small
+// fraction of the streamed slots. Above the padding cutoff, the wasted
+// bandwidth on padded slots outweighs the regular-access win and CSR is
+// kept.
+const (
+	sellAutoMinN       = 512
+	sellAutoMaxPadding = 0.35
+)
 
 // NewLapOperator freezes g and returns its (serial) Laplacian operator.
 // Call SetWorkers before sharing it to enable parallel application.
@@ -111,10 +138,79 @@ func (l *LapOperator) SetWorkers(workers int) {
 	l.workers = l.kern.Workers()
 	if l.kern != nil {
 		l.part = l.CSR.NNZPartition(l.workers)
+		if l.sell != nil {
+			l.chunkPart = l.sell.NNZChunkPartition(l.workers)
+		}
 	} else {
 		l.part = nil
+		l.chunkPart = nil
 	}
 }
+
+// SetFormat freezes the operator's sparse storage layout. FormatAuto picks
+// SELL when the operator is large enough (N >= 512) and the predicted
+// σ-sorted padding ratio stays under the cutoff; FormatCSR/FormatSELL force
+// the choice. Choosing SELL rebuilds every frozen array — the CSR, the
+// sliced view, and the partition tables — inside one page-aligned arena
+// block sized exactly from the footprint predictors, so the whole operator
+// is a single contiguous allocation released as a unit when its snapshot
+// generation is dropped. Like SetWorkers, call before the operator is
+// shared; order relative to SetWorkers does not matter (each refreshes the
+// partitions the other depends on).
+func (l *LapOperator) SetFormat(f solver.Format) {
+	bytes, pad := graph.SellFootprint(l.CSR, 0)
+	l.padRatio = pad
+	use := f == solver.FormatSELL ||
+		(f == solver.FormatAuto && l.CSR.N >= sellAutoMinN && pad <= sellAutoMaxPadding)
+	if !use {
+		l.sell = nil
+		l.chunkPart = nil
+		l.arena = nil
+		return
+	}
+	// Exact payload plus per-allocation cache-line padding (one line per
+	// array) and the partition tables.
+	slack := 16*64 + 16*(l.workers+2)
+	arena := kernel.NewArena(l.CSR.ArenaBytes() + bytes + slack)
+	l.CSR = l.CSR.CompactInto(arena)
+	l.sell = graph.NewSELL(l.CSR, 0, arena)
+	l.arena = arena
+	l.padRatio = l.sell.PaddingRatio()
+	if l.kern != nil {
+		l.part = l.CSR.NNZPartition(l.workers)
+		l.chunkPart = l.sell.NNZChunkPartition(l.workers)
+	}
+}
+
+// Format reports the frozen storage layout (FormatCSR until SetFormat
+// selects SELL).
+func (l *LapOperator) Format() solver.Format {
+	if l.sell != nil {
+		return solver.FormatSELL
+	}
+	return solver.FormatCSR
+}
+
+// PaddingRatio reports the SELL padding ratio: actual for a SELL-frozen
+// operator, predicted (from the footprint pass) after any SetFormat call,
+// 0 before one.
+func (l *LapOperator) PaddingRatio() float64 { return l.padRatio }
+
+// ArenaStats reports the arena backing a SELL-frozen operator: payload
+// bytes handed out, bytes reserved, and block count (1 means fully
+// contiguous). All zero for CSR-frozen operators.
+func (l *LapOperator) ArenaStats() (used, reserved, blocks int) {
+	if l.arena == nil {
+		return 0, 0, 0
+	}
+	return l.arena.Used(), l.arena.Reserved(), l.arena.Blocks()
+}
+
+// SetSpMVObserver installs a wall-time observer called after every
+// Apply/ApplyBlock (the service layer points it at the per-format SpMV
+// duration histogram). A nil observer (the default) keeps the hot path
+// free of timing calls. Set before the operator is shared.
+func (l *LapOperator) SetSpMVObserver(f func(time.Duration)) { l.spmvObs = f }
 
 // WorkerCount reports the frozen effective parallelism degree (1 = serial).
 func (l *LapOperator) WorkerCount() int {
@@ -131,17 +227,46 @@ func (l *LapOperator) Kernels() *kernel.Pool { return l.kern }
 // Dim returns the node count.
 func (l *LapOperator) Dim() int { return l.CSR.N }
 
-// Apply computes dst = L x, through the kernel pool when the operator was
-// frozen parallel and the product is above the serial cutover.
+// Apply computes dst = L x over the frozen layout, through the kernel pool
+// when the operator was frozen parallel and the product is above the serial
+// cutover. Bit-identical to serial CSR in every configuration.
 func (l *LapOperator) Apply(dst, x []float64) {
+	if l.spmvObs != nil {
+		start := time.Now()
+		l.applySpMV(dst, x)
+		l.spmvObs(time.Since(start))
+		return
+	}
+	l.applySpMV(dst, x)
+}
+
+func (l *LapOperator) applySpMV(dst, x []float64) {
+	if l.sell != nil {
+		l.kern.LapMulSELL(l.sell, l.chunkPart, dst, x)
+		return
+	}
 	l.kern.LapMul(l.CSR, l.part, dst, x)
 }
 
-// ApplyBlock computes dst[j] = L x[j] for a block of vectors in one CSR
-// traversal (see graph.CSR.LapMulMulti), through the kernel pool when the
-// operator was frozen parallel. Each column is bit-identical to Apply on
-// that column alone.
+// ApplyBlock computes dst[j] = L x[j] for a block of vectors in one
+// structure traversal (see graph.CSR.LapMulMulti and graph.SELL.LapMulMulti),
+// through the kernel pool when the operator was frozen parallel. Each
+// column is bit-identical to Apply on that column alone.
 func (l *LapOperator) ApplyBlock(dst, x [][]float64) {
+	if l.spmvObs != nil {
+		start := time.Now()
+		l.applyBlockSpMV(dst, x)
+		l.spmvObs(time.Since(start))
+		return
+	}
+	l.applyBlockSpMV(dst, x)
+}
+
+func (l *LapOperator) applyBlockSpMV(dst, x [][]float64) {
+	if l.sell != nil {
+		l.kern.LapMulMultiSELL(l.sell, l.chunkPart, dst, x)
+		return
+	}
 	l.kern.LapMulMulti(l.CSR, l.part, dst, x)
 }
 

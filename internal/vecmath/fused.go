@@ -7,10 +7,15 @@ import "fmt"
 // bound — every separate Dot/AXPY/Norm2 call streams n-length vectors
 // through the cache again — so fusing the update with the reduction that
 // consumes it roughly halves the memory passes per iteration. Element-wise
-// results and reduction orders match the unfused compositions exactly
-// (ascending index, one accumulator per reduction), so swapping a fused
-// kernel in is bit-for-bit neutral; the property tests in fused_test.go pin
-// that equivalence.
+// results match the unfused compositions exactly, so swapping a fused
+// kernel in is bit-for-bit neutral on the vectors it writes; the property
+// tests in fused_test.go pin that equivalence. Reduction order is
+// dispatch-dependent: the pure-Go path folds left with one accumulator
+// (matching the unfused composition), while the AVX2 path uses the 4-lane
+// order documented in generic.go — deterministic in both cases.
+//
+// Each exported kernel validates lengths, then delegates to a *Body
+// function that simd_amd64.go / simd_fallback.go resolve per build and CPU.
 
 // AXPYDot computes dst += alpha*x and returns Dot(dst, y) over the updated
 // dst, in one pass. With y = dst it yields the squared norm of the update —
@@ -21,13 +26,7 @@ func AXPYDot(dst []float64, alpha float64, x, y []float64) float64 {
 	if len(dst) != len(x) || len(dst) != len(y) {
 		panic(fmt.Sprintf("vecmath: AXPYDot length mismatch %d/%d/%d", len(dst), len(x), len(y)))
 	}
-	var s float64
-	for i, xv := range x {
-		d := dst[i] + alpha*xv
-		dst[i] = d
-		s += d * y[i]
-	}
-	return s
+	return axpyDotBody(dst, alpha, x, y)
 }
 
 // AXPY2 performs the paired CG iterate/residual update
@@ -40,14 +39,7 @@ func AXPY2(x, r []float64, alpha float64, p, ap []float64) float64 {
 	if len(x) != len(r) || len(x) != len(p) || len(x) != len(ap) {
 		panic(fmt.Sprintf("vecmath: AXPY2 length mismatch %d/%d/%d/%d", len(x), len(r), len(p), len(ap)))
 	}
-	var s float64
-	for i := range x {
-		x[i] += alpha * p[i]
-		ri := r[i] - alpha*ap[i]
-		r[i] = ri
-		s += ri * ri
-	}
-	return s
+	return axpy2Body(x, r, alpha, p, ap)
 }
 
 // AXPYPair computes dst += alpha*x + beta*y in one pass (the Lanczos
@@ -56,9 +48,7 @@ func AXPYPair(dst []float64, alpha float64, x []float64, beta float64, y []float
 	if len(dst) != len(x) || len(dst) != len(y) {
 		panic(fmt.Sprintf("vecmath: AXPYPair length mismatch %d/%d/%d", len(dst), len(x), len(y)))
 	}
-	for i := range dst {
-		dst[i] += alpha*x[i] + beta*y[i]
-	}
+	axpyPairBody(dst, alpha, x, beta, y)
 }
 
 // XPBYInto computes dst = x + beta*dst element-wise — the CG search-
@@ -68,9 +58,7 @@ func XPBYInto(dst, x []float64, beta float64) {
 	if len(dst) != len(x) {
 		panic(fmt.Sprintf("vecmath: XPBYInto length mismatch %d != %d", len(dst), len(x)))
 	}
-	for i := range dst {
-		dst[i] = x[i] + beta*dst[i]
-	}
+	xpbyIntoBody(dst, x, beta)
 }
 
 // Dot2 returns (a·x, a·y) in one pass over the three vectors.
@@ -78,11 +66,7 @@ func Dot2(a, x, y []float64) (ax, ay float64) {
 	if len(a) != len(x) || len(a) != len(y) {
 		panic(fmt.Sprintf("vecmath: Dot2 length mismatch %d/%d/%d", len(a), len(x), len(y)))
 	}
-	for i, av := range a {
-		ax += av * x[i]
-		ay += av * y[i]
-	}
-	return ax, ay
+	return dot2Body(a, x, y)
 }
 
 // DotNorm returns (a·b, b·b) in one pass: the preconditioned-residual inner
@@ -92,10 +76,5 @@ func DotNorm(a, b []float64) (ab, bb float64) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vecmath: DotNorm length mismatch %d != %d", len(a), len(b)))
 	}
-	for i, av := range a {
-		bv := b[i]
-		ab += av * bv
-		bb += bv * bv
-	}
-	return ab, bb
+	return dotNormBody(a, b)
 }

@@ -1,0 +1,79 @@
+package vecmath
+
+// Pure-Go kernel bodies. These are the reference implementations behind the
+// exported kernels in vector.go and fused.go: on amd64 builds without the
+// purego tag, dispatch (simd_amd64.go) may route to the AVX2 assembly
+// bodies instead; everywhere else these ARE the implementation.
+//
+// Contract with the assembly bodies:
+//
+//   - Element-wise outputs (the vector updates of AXPY2, AXPYDot, AXPYPair,
+//     XPBYInto) are bit-identical between generic and SIMD: Go never fuses
+//     float64 multiply-add on amd64, the assembly uses separate VMULPD /
+//     VADDPD (never FMA), so both perform the same two roundings per
+//     element.
+//   - Reduction VALUES differ in accumulation order: generic folds left
+//     with one accumulator; SIMD folds into 4 lanes (element i → lane i%4
+//     over the first len&^3 elements), reduces (l0+l2)+(l1+l3), then
+//     appends the scalar tail left-to-right. Both orders are deterministic
+//     and fixed; the SIMD order is pinned bit-for-bit by the lane oracles
+//     in simd_test.go. This mirrors the kernel.Pool contract, where pooled
+//     reductions are deterministic per width but not bit-identical to
+//     serial.
+func dotGeneric(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+func axpyDotGeneric(dst []float64, alpha float64, x, y []float64) float64 {
+	var s float64
+	for i, xv := range x {
+		d := dst[i] + alpha*xv
+		dst[i] = d
+		s += d * y[i]
+	}
+	return s
+}
+
+func axpy2Generic(x, r []float64, alpha float64, p, ap []float64) float64 {
+	var s float64
+	for i := range x {
+		x[i] += alpha * p[i]
+		ri := r[i] - alpha*ap[i]
+		r[i] = ri
+		s += ri * ri
+	}
+	return s
+}
+
+func axpyPairGeneric(dst []float64, alpha float64, x []float64, beta float64, y []float64) {
+	for i := range dst {
+		dst[i] += alpha*x[i] + beta*y[i]
+	}
+}
+
+func xpbyIntoGeneric(dst, x []float64, beta float64) {
+	for i := range dst {
+		dst[i] = x[i] + beta*dst[i]
+	}
+}
+
+func dot2Generic(a, x, y []float64) (ax, ay float64) {
+	for i, av := range a {
+		ax += av * x[i]
+		ay += av * y[i]
+	}
+	return ax, ay
+}
+
+func dotNormGeneric(a, b []float64) (ab, bb float64) {
+	for i, av := range a {
+		bv := b[i]
+		ab += av * bv
+		bb += bv * bv
+	}
+	return ab, bb
+}

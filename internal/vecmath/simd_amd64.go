@@ -1,0 +1,108 @@
+//go:build amd64 && !purego
+
+package vecmath
+
+// amd64 dispatch: route each kernel body to the AVX2 assembly when the CPU
+// supports it and SetSIMD has not turned it off. The atomic load is a plain
+// MOV on amd64 — noise next to even the smallest kernel invocation. The
+// assembly handles every length (including n < 4) with a scalar tail whose
+// accumulation order matches the documented lane contract in generic.go.
+var simdSupported = cpuHasAVX2()
+
+// cpuHasAVX2 probes CPUID directly (no dependency on x/sys): AVX2 needs
+// the instruction set bit (leaf 7 EBX[5]) plus AVX and OSXSAVE (leaf 1
+// ECX[28], ECX[27]) plus OS-enabled XMM|YMM state (XCR0 bits 1 and 2) —
+// without the XGETBV check, YMM registers would fault on kernels the CPU
+// nominally supports.
+func cpuHasAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv(); xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func dotAVX2(a, b []float64) float64
+
+//go:noescape
+func axpyDotAVX2(dst []float64, alpha float64, x, y []float64) float64
+
+//go:noescape
+func axpy2AVX2(x, r []float64, alpha float64, p, ap []float64) float64
+
+//go:noescape
+func axpyPairAVX2(dst []float64, alpha float64, x []float64, beta float64, y []float64)
+
+//go:noescape
+func xpbyIntoAVX2(dst, x []float64, beta float64)
+
+//go:noescape
+func dot2AVX2(a, x, y []float64) (ax, ay float64)
+
+//go:noescape
+func dotNormAVX2(a, b []float64) (ab, bb float64)
+
+func dotBody(a, b []float64) float64 {
+	if simdActive.Load() {
+		return dotAVX2(a, b)
+	}
+	return dotGeneric(a, b)
+}
+
+func axpyDotBody(dst []float64, alpha float64, x, y []float64) float64 {
+	if simdActive.Load() {
+		return axpyDotAVX2(dst, alpha, x, y)
+	}
+	return axpyDotGeneric(dst, alpha, x, y)
+}
+
+func axpy2Body(x, r []float64, alpha float64, p, ap []float64) float64 {
+	if simdActive.Load() {
+		return axpy2AVX2(x, r, alpha, p, ap)
+	}
+	return axpy2Generic(x, r, alpha, p, ap)
+}
+
+func axpyPairBody(dst []float64, alpha float64, x []float64, beta float64, y []float64) {
+	if simdActive.Load() {
+		axpyPairAVX2(dst, alpha, x, beta, y)
+		return
+	}
+	axpyPairGeneric(dst, alpha, x, beta, y)
+}
+
+func xpbyIntoBody(dst, x []float64, beta float64) {
+	if simdActive.Load() {
+		xpbyIntoAVX2(dst, x, beta)
+		return
+	}
+	xpbyIntoGeneric(dst, x, beta)
+}
+
+func dot2Body(a, x, y []float64) (ax, ay float64) {
+	if simdActive.Load() {
+		return dot2AVX2(a, x, y)
+	}
+	return dot2Generic(a, x, y)
+}
+
+func dotNormBody(a, b []float64) (ab, bb float64) {
+	if simdActive.Load() {
+		return dotNormAVX2(a, b)
+	}
+	return dotNormGeneric(a, b)
+}

@@ -1,0 +1,379 @@
+//go:build !purego
+
+// AVX2 bodies for the hot vecmath kernels. Shared rules (see generic.go for
+// the full bit-level contract):
+//
+//   - NO FMA. Go never fuses float64 mul+add, so the generic bodies round
+//     twice per multiply-add; VFMADD* rounds once and would break the
+//     element-wise bit-identity between the SIMD and generic paths. Every
+//     multiply-add here is an explicit VMULPD/VMULSD followed by
+//     VADDPD/VSUBPD/VADDSD/VSUBSD.
+//   - Reductions accumulate element i into lane i%4 of one YMM register
+//     over the first len&^3 elements, reduce as (l0+l2)+(l1+l3) via
+//     VEXTRACTF128+VADDPD+VHADDPD, then fold the scalar tail in ascending
+//     order. simd_test.go pins this order with pure-Go lane oracles.
+//   - Unaligned loads throughout (VMOVUPD); callers pass arbitrary slices.
+//   - VZEROUPPER before every RET to avoid AVX/SSE transition stalls in
+//     the surrounding Go code.
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+// Callers must have verified OSXSAVE first.
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotAVX2(a, b []float64) float64
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	MOVQ   CX, BX
+	ANDQ   $-4, BX
+	XORQ   AX, AX
+	CMPQ   BX, $0
+	JE     dotreduce
+
+dotvec:
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD (DI)(AX*8), Y2
+	VMULPD  Y2, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ    $4, AX
+	CMPQ    AX, BX
+	JL      dotvec
+
+dotreduce:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+
+dottail:
+	CMPQ   AX, CX
+	JGE    dotdone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD (DI)(AX*8), X1, X1
+	VADDSD X1, X0, X0
+	INCQ   AX
+	JMP    dottail
+
+dotdone:
+	VMOVSD     X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func axpyDotAVX2(dst []float64, alpha float64, x, y []float64) float64
+// dst += alpha*x, then accumulate dot(dst', y).
+TEXT ·axpyDotAVX2(SB), NOSPLIT, $0-88
+	MOVQ         dst_base+0(FP), SI
+	MOVQ         x_base+32(FP), DI
+	MOVQ         y_base+56(FP), DX
+	MOVQ         dst_len+8(FP), CX
+	VBROADCASTSD alpha+24(FP), Y5
+	VXORPD       Y0, Y0, Y0
+	MOVQ         CX, BX
+	ANDQ         $-4, BX
+	XORQ         AX, AX
+	CMPQ         BX, $0
+	JE           adreduce
+
+advec:
+	VMOVUPD (DI)(AX*8), Y1
+	VMULPD  Y5, Y1, Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (SI)(AX*8)
+	VMOVUPD (DX)(AX*8), Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  Y3, Y0, Y0
+	ADDQ    $4, AX
+	CMPQ    AX, BX
+	JL      advec
+
+adreduce:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+
+adtail:
+	CMPQ   AX, CX
+	JGE    addone
+	VMOVSD (DI)(AX*8), X1
+	VMULSD X5, X1, X1
+	VMOVSD (SI)(AX*8), X2
+	VADDSD X1, X2, X2
+	VMOVSD X2, (SI)(AX*8)
+	VMOVSD (DX)(AX*8), X3
+	VMULSD X3, X2, X3
+	VADDSD X3, X0, X0
+	INCQ   AX
+	JMP    adtail
+
+addone:
+	VMOVSD     X0, ret+80(FP)
+	VZEROUPPER
+	RET
+
+// func axpy2AVX2(x, r []float64, alpha float64, p, ap []float64) float64
+// x += alpha*p ; r -= alpha*ap ; accumulate dot(r', r').
+TEXT ·axpy2AVX2(SB), NOSPLIT, $0-112
+	MOVQ         x_base+0(FP), SI
+	MOVQ         r_base+24(FP), DI
+	MOVQ         p_base+56(FP), DX
+	MOVQ         ap_base+80(FP), R8
+	MOVQ         x_len+8(FP), CX
+	VBROADCASTSD alpha+48(FP), Y5
+	VXORPD       Y0, Y0, Y0
+	MOVQ         CX, BX
+	ANDQ         $-4, BX
+	XORQ         AX, AX
+	CMPQ         BX, $0
+	JE           a2reduce
+
+a2vec:
+	VMOVUPD (DX)(AX*8), Y1
+	VMULPD  Y5, Y1, Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (SI)(AX*8)
+	VMOVUPD (R8)(AX*8), Y3
+	VMULPD  Y5, Y3, Y3
+	VMOVUPD (DI)(AX*8), Y4
+	VSUBPD  Y3, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	VMULPD  Y4, Y4, Y3
+	VADDPD  Y3, Y0, Y0
+	ADDQ    $4, AX
+	CMPQ    AX, BX
+	JL      a2vec
+
+a2reduce:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+
+a2tail:
+	CMPQ   AX, CX
+	JGE    a2done
+	VMOVSD (DX)(AX*8), X1
+	VMULSD X5, X1, X1
+	VMOVSD (SI)(AX*8), X2
+	VADDSD X1, X2, X2
+	VMOVSD X2, (SI)(AX*8)
+	VMOVSD (R8)(AX*8), X3
+	VMULSD X5, X3, X3
+	VMOVSD (DI)(AX*8), X4
+	VSUBSD X3, X4, X4
+	VMOVSD X4, (DI)(AX*8)
+	VMULSD X4, X4, X3
+	VADDSD X3, X0, X0
+	INCQ   AX
+	JMP    a2tail
+
+a2done:
+	VMOVSD     X0, ret+104(FP)
+	VZEROUPPER
+	RET
+
+// func axpyPairAVX2(dst []float64, alpha float64, x []float64, beta float64, y []float64)
+// dst += alpha*x + beta*y.
+TEXT ·axpyPairAVX2(SB), NOSPLIT, $0-88
+	MOVQ         dst_base+0(FP), SI
+	MOVQ         x_base+32(FP), DI
+	MOVQ         y_base+64(FP), DX
+	MOVQ         dst_len+8(FP), CX
+	VBROADCASTSD alpha+24(FP), Y5
+	VBROADCASTSD beta+56(FP), Y6
+	MOVQ         CX, BX
+	ANDQ         $-4, BX
+	XORQ         AX, AX
+	CMPQ         BX, $0
+	JE           aptail
+
+apvec:
+	VMOVUPD (DI)(AX*8), Y1
+	VMULPD  Y5, Y1, Y1
+	VMOVUPD (DX)(AX*8), Y2
+	VMULPD  Y6, Y2, Y2
+	VADDPD  Y2, Y1, Y1
+	VMOVUPD (SI)(AX*8), Y3
+	VADDPD  Y1, Y3, Y3
+	VMOVUPD Y3, (SI)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, BX
+	JL      apvec
+
+aptail:
+	CMPQ   AX, CX
+	JGE    apdone
+	VMOVSD (DI)(AX*8), X1
+	VMULSD X5, X1, X1
+	VMOVSD (DX)(AX*8), X2
+	VMULSD X6, X2, X2
+	VADDSD X2, X1, X1
+	VMOVSD (SI)(AX*8), X3
+	VADDSD X1, X3, X3
+	VMOVSD X3, (SI)(AX*8)
+	INCQ   AX
+	JMP    aptail
+
+apdone:
+	VZEROUPPER
+	RET
+
+// func xpbyIntoAVX2(dst, x []float64, beta float64)
+// dst = x + beta*dst.
+TEXT ·xpbyIntoAVX2(SB), NOSPLIT, $0-56
+	MOVQ         dst_base+0(FP), SI
+	MOVQ         x_base+24(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	VBROADCASTSD beta+48(FP), Y5
+	MOVQ         CX, BX
+	ANDQ         $-4, BX
+	XORQ         AX, AX
+	CMPQ         BX, $0
+	JE           xptail
+
+xpvec:
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y5, Y1, Y1
+	VMOVUPD (DI)(AX*8), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (SI)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, BX
+	JL      xpvec
+
+xptail:
+	CMPQ   AX, CX
+	JGE    xpdone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X5, X1, X1
+	VMOVSD (DI)(AX*8), X2
+	VADDSD X1, X2, X2
+	VMOVSD X2, (SI)(AX*8)
+	INCQ   AX
+	JMP    xptail
+
+xpdone:
+	VZEROUPPER
+	RET
+
+// func dot2AVX2(a, x, y []float64) (ax, ay float64)
+TEXT ·dot2AVX2(SB), NOSPLIT, $0-88
+	MOVQ   a_base+0(FP), SI
+	MOVQ   x_base+24(FP), DI
+	MOVQ   y_base+48(FP), DX
+	MOVQ   a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ   CX, BX
+	ANDQ   $-4, BX
+	XORQ   AX, AX
+	CMPQ   BX, $0
+	JE     d2reduce
+
+d2vec:
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD (DI)(AX*8), Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  Y3, Y0, Y0
+	VMOVUPD (DX)(AX*8), Y4
+	VMULPD  Y4, Y2, Y4
+	VADDPD  Y4, Y1, Y1
+	ADDQ    $4, AX
+	CMPQ    AX, BX
+	JL      d2vec
+
+d2reduce:
+	VEXTRACTF128 $1, Y0, X2
+	VADDPD       X2, X0, X0
+	VHADDPD      X0, X0, X0
+	VEXTRACTF128 $1, Y1, X2
+	VADDPD       X2, X1, X1
+	VHADDPD      X1, X1, X1
+
+d2tail:
+	CMPQ   AX, CX
+	JGE    d2done
+	VMOVSD (SI)(AX*8), X2
+	VMOVSD (DI)(AX*8), X3
+	VMULSD X3, X2, X3
+	VADDSD X3, X0, X0
+	VMOVSD (DX)(AX*8), X3
+	VMULSD X3, X2, X3
+	VADDSD X3, X1, X1
+	INCQ   AX
+	JMP    d2tail
+
+d2done:
+	VMOVSD     X0, ax+72(FP)
+	VMOVSD     X1, ay+80(FP)
+	VZEROUPPER
+	RET
+
+// func dotNormAVX2(a, b []float64) (ab, bb float64)
+TEXT ·dotNormAVX2(SB), NOSPLIT, $0-64
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ   CX, BX
+	ANDQ   $-4, BX
+	XORQ   AX, AX
+	CMPQ   BX, $0
+	JE     dnreduce
+
+dnvec:
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD (DI)(AX*8), Y3
+	VMULPD  Y3, Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y1, Y1
+	ADDQ    $4, AX
+	CMPQ    AX, BX
+	JL      dnvec
+
+dnreduce:
+	VEXTRACTF128 $1, Y0, X2
+	VADDPD       X2, X0, X0
+	VHADDPD      X0, X0, X0
+	VEXTRACTF128 $1, Y1, X2
+	VADDPD       X2, X1, X1
+	VHADDPD      X1, X1, X1
+
+dntail:
+	CMPQ   AX, CX
+	JGE    dndone
+	VMOVSD (SI)(AX*8), X2
+	VMOVSD (DI)(AX*8), X3
+	VMULSD X3, X2, X2
+	VADDSD X2, X0, X0
+	VMULSD X3, X3, X3
+	VADDSD X3, X1, X1
+	INCQ   AX
+	JMP    dntail
+
+dndone:
+	VMOVSD     X0, ab+48(FP)
+	VMOVSD     X1, bb+56(FP)
+	VZEROUPPER
+	RET

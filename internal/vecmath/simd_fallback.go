@@ -1,0 +1,28 @@
+//go:build !amd64 || purego
+
+package vecmath
+
+// Non-amd64 or purego builds: the pure-Go bodies are the only
+// implementation. The purego tag exists so CI (and any cautious operator)
+// can run the whole suite with assembly compiled out.
+const simdSupported = false
+
+func dotBody(a, b []float64) float64 { return dotGeneric(a, b) }
+
+func axpyDotBody(dst []float64, alpha float64, x, y []float64) float64 {
+	return axpyDotGeneric(dst, alpha, x, y)
+}
+
+func axpy2Body(x, r []float64, alpha float64, p, ap []float64) float64 {
+	return axpy2Generic(x, r, alpha, p, ap)
+}
+
+func axpyPairBody(dst []float64, alpha float64, x []float64, beta float64, y []float64) {
+	axpyPairGeneric(dst, alpha, x, beta, y)
+}
+
+func xpbyIntoBody(dst, x []float64, beta float64) { xpbyIntoGeneric(dst, x, beta) }
+
+func dot2Body(a, x, y []float64) (ax, ay float64) { return dot2Generic(a, x, y) }
+
+func dotNormBody(a, b []float64) (ab, bb float64) { return dotNormGeneric(a, b) }

@@ -1,0 +1,200 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// Lane oracle: the pure-Go model of the AVX2 reduction order — element i
+// feeds lane i%4 over the first len&^3 elements, lanes reduce as
+// (l0+l2)+(l1+l3), the tail folds in left-to-right. Every SIMD reduction
+// must match its oracle bit-for-bit; this is what makes the assembly's
+// floating-point behavior a documented contract instead of an accident.
+func laneOracle(n int, product func(i int) float64) float64 {
+	var lane [4]float64
+	v := n &^ 3
+	for i := 0; i < v; i++ {
+		lane[i%4] += product(i)
+	}
+	s := (lane[0] + lane[2]) + (lane[1] + lane[3])
+	for i := v; i < n; i++ {
+		s += product(i)
+	}
+	return s
+}
+
+var simdSizes = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 31, 100, 1000, 4097}
+
+func simdVec(seed uint64, n int) []float64 {
+	r := NewRNG(seed)
+	v := make([]float64, n)
+	r.FillNormal(v)
+	for i := range v {
+		if i%7 == 3 {
+			v[i] = -v[i]
+		}
+	}
+	return v
+}
+
+func withSIMD(t *testing.T, on bool) {
+	t.Helper()
+	prev := SIMDActive()
+	SetSIMD(on)
+	t.Cleanup(func() { SetSIMD(prev) })
+}
+
+func requireSIMD(t *testing.T) {
+	t.Helper()
+	if !SIMDSupported() {
+		t.Skip("SIMD unsupported on this build/CPU (non-amd64, purego, or no AVX2)")
+	}
+	withSIMD(t, true)
+}
+
+func TestSetSIMDRespectsSupport(t *testing.T) {
+	prev := SIMDActive()
+	defer SetSIMD(prev)
+	if got := SetSIMD(false); got {
+		t.Fatal("SetSIMD(false) reported active")
+	}
+	if SIMDActive() {
+		t.Fatal("SIMDActive after SetSIMD(false)")
+	}
+	got := SetSIMD(true)
+	if got != SIMDSupported() {
+		t.Fatalf("SetSIMD(true) = %v, want %v (support)", got, SIMDSupported())
+	}
+}
+
+func TestDotMatchesLaneOracle(t *testing.T) {
+	requireSIMD(t)
+	for _, n := range simdSizes {
+		a, b := simdVec(uint64(n)+1, n), simdVec(uint64(n)+2, n)
+		want := laneOracle(n, func(i int) float64 { return a[i] * b[i] })
+		if got := Dot(a, b); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("n=%d: Dot=%x oracle=%x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestDot2MatchesLaneOracle(t *testing.T) {
+	requireSIMD(t)
+	for _, n := range simdSizes {
+		a, x, y := simdVec(uint64(n)+3, n), simdVec(uint64(n)+4, n), simdVec(uint64(n)+5, n)
+		wantAX := laneOracle(n, func(i int) float64 { return a[i] * x[i] })
+		wantAY := laneOracle(n, func(i int) float64 { return a[i] * y[i] })
+		ax, ay := Dot2(a, x, y)
+		if math.Float64bits(ax) != math.Float64bits(wantAX) || math.Float64bits(ay) != math.Float64bits(wantAY) {
+			t.Errorf("n=%d: Dot2 mismatch vs oracle", n)
+		}
+	}
+}
+
+func TestDotNormMatchesLaneOracle(t *testing.T) {
+	requireSIMD(t)
+	for _, n := range simdSizes {
+		a, b := simdVec(uint64(n)+6, n), simdVec(uint64(n)+7, n)
+		wantAB := laneOracle(n, func(i int) float64 { return a[i] * b[i] })
+		wantBB := laneOracle(n, func(i int) float64 { return b[i] * b[i] })
+		ab, bb := DotNorm(a, b)
+		if math.Float64bits(ab) != math.Float64bits(wantAB) || math.Float64bits(bb) != math.Float64bits(wantBB) {
+			t.Errorf("n=%d: DotNorm mismatch vs oracle", n)
+		}
+	}
+}
+
+// AXPYDot: the dst update must be bit-identical to the generic body (two
+// roundings per element — the no-FMA rule); the reduction must match the
+// lane oracle evaluated over the updated vector.
+func TestAXPYDotSIMD(t *testing.T) {
+	requireSIMD(t)
+	const alpha = -1.375
+	for _, n := range simdSizes {
+		dst := simdVec(uint64(n)+8, n)
+		x, y := simdVec(uint64(n)+9, n), simdVec(uint64(n)+10, n)
+		ref := append([]float64(nil), dst...)
+		axpyDotGeneric(ref, alpha, x, y)
+		want := laneOracle(n, func(i int) float64 { return ref[i] * y[i] })
+		got := AXPYDot(dst, alpha, x, y)
+		for i := range dst {
+			if math.Float64bits(dst[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("n=%d: dst[%d] SIMD %x != generic %x", n, i, math.Float64bits(dst[i]), math.Float64bits(ref[i]))
+			}
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("n=%d: AXPYDot reduction %x != oracle %x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestAXPY2SIMD(t *testing.T) {
+	requireSIMD(t)
+	const alpha = 0.8125
+	for _, n := range simdSizes {
+		x, r := simdVec(uint64(n)+11, n), simdVec(uint64(n)+12, n)
+		p, ap := simdVec(uint64(n)+13, n), simdVec(uint64(n)+14, n)
+		xr, rr := append([]float64(nil), x...), append([]float64(nil), r...)
+		axpy2Generic(xr, rr, alpha, p, ap)
+		want := laneOracle(n, func(i int) float64 { return rr[i] * rr[i] })
+		got := AXPY2(x, r, alpha, p, ap)
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(xr[i]) || math.Float64bits(r[i]) != math.Float64bits(rr[i]) {
+				t.Fatalf("n=%d: updated vectors differ from generic at %d", n, i)
+			}
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("n=%d: AXPY2 reduction %x != oracle %x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// Pure element-wise kernels must be bit-identical between SIMD and generic
+// for every length, including signed zeros.
+func TestAXPYPairAndXPBYIntoBitIdentical(t *testing.T) {
+	requireSIMD(t)
+	const alpha, beta = 2.5, -0.3125
+	for _, n := range simdSizes {
+		dst := simdVec(uint64(n)+15, n)
+		x, y := simdVec(uint64(n)+16, n), simdVec(uint64(n)+17, n)
+		if n > 2 {
+			dst[1], x[1], y[1] = math.Copysign(0, -1), 0, math.Copysign(0, -1)
+		}
+		ref := append([]float64(nil), dst...)
+		axpyPairGeneric(ref, alpha, x, beta, y)
+		AXPYPair(dst, alpha, x, beta, y)
+		for i := range dst {
+			if math.Float64bits(dst[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("n=%d: AXPYPair dst[%d] %x != %x", n, i, math.Float64bits(dst[i]), math.Float64bits(ref[i]))
+			}
+		}
+
+		dst2 := simdVec(uint64(n)+18, n)
+		x2 := simdVec(uint64(n)+19, n)
+		ref2 := append([]float64(nil), dst2...)
+		xpbyIntoGeneric(ref2, x2, beta)
+		XPBYInto(dst2, x2, beta)
+		for i := range dst2 {
+			if math.Float64bits(dst2[i]) != math.Float64bits(ref2[i]) {
+				t.Fatalf("n=%d: XPBYInto dst[%d] differs", n, i)
+			}
+		}
+	}
+}
+
+// With SIMD forced off, the exported kernels must be the generic bodies
+// exactly — the fallback path is not allowed to drift.
+func TestDisabledSIMDMatchesGenericExactly(t *testing.T) {
+	withSIMD(t, false)
+	for _, n := range []int{0, 5, 257} {
+		a, b := simdVec(uint64(n)+20, n), simdVec(uint64(n)+21, n)
+		if math.Float64bits(Dot(a, b)) != math.Float64bits(dotGeneric(a, b)) {
+			t.Fatalf("n=%d: disabled Dot differs from generic", n)
+		}
+		ab1, bb1 := DotNorm(a, b)
+		ab2, bb2 := dotNormGeneric(a, b)
+		if ab1 != ab2 || bb1 != bb2 {
+			t.Fatalf("n=%d: disabled DotNorm differs from generic", n)
+		}
+	}
+}

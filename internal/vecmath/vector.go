@@ -13,16 +13,15 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of a and b. The slices must have equal length.
+// Dot returns the inner product of a and b. The slices must have equal
+// length. The accumulation order depends on the active dispatch path (see
+// generic.go): deterministic either way, but SIMD and generic values can
+// differ in low bits.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vecmath: Dot length mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i, av := range a {
-		s += av * b[i]
-	}
-	return s
+	return dotBody(a, b)
 }
 
 // Norm2 returns the Euclidean norm of v.

@@ -493,6 +493,12 @@ type ServiceStats struct {
 	SolveCancelled        uint64 `json:"solve_cancelled"`
 	// SolveLatency digests the per-solve wall-clock histogram in seconds.
 	SolveLatency LatencySummary `json:"solve_latency_seconds"`
+	// Frozen-operator shape of the served generation: storage layout ("csr"
+	// or "sell", "auto" until the first factorization), SELL padding
+	// fraction, and arena bytes reserved across the G and H operators.
+	OperatorFormat       string  `json:"operator_format"`
+	OperatorPaddingRatio float64 `json:"operator_padding_ratio"`
+	OperatorArenaBytes   uint64  `json:"operator_arena_bytes"`
 	// Durability counters (zero without DataDir): logged batches, their
 	// framed bytes, failed appends, completed checkpoints, and the
 	// generation the newest checkpoint covers.
@@ -538,6 +544,9 @@ func (s *Service) Stats() ServiceStats {
 		SolveDeadlineExceeded: v.SolveDeadlineExceeded,
 		SolveCancelled:        v.SolveCancelled,
 		SolveLatency:          fromSummary(v.SolveLatency),
+		OperatorFormat:        v.OperatorFormat,
+		OperatorPaddingRatio:  v.OperatorPaddingRatio,
+		OperatorArenaBytes:    v.OperatorArenaBytes,
 		WALAppends:            v.WALAppends,
 		WALBytes:              v.WALBytes,
 		WALErrors:             v.WALErrors,

@@ -35,15 +35,23 @@ type SolveOptions struct {
 	// ServiceOptions.Solve.Workers instead), which is why the HTTP layer
 	// does not expose it.
 	Workers int
+	// Format selects the frozen operator's sparse storage layout: "auto"
+	// (default — size/padding heuristic), "csr", or "sell". Like Workers it
+	// is honored where an operator is frozen for this call; configure
+	// ServiceOptions.Solve.Format for engine snapshots. Unknown names fall
+	// back to auto.
+	Format string
 }
 
 func (o SolveOptions) internal() solver.Options {
+	f, _ := solver.ParseFormat(o.Format)
 	return solver.Options{
 		Tol:        o.Tol,
 		MaxIter:    o.MaxIter,
 		InnerTol:   o.InnerTol,
 		InnerIters: o.InnerIters,
 		Workers:    o.Workers,
+		Format:     f,
 	}
 }
 
