@@ -31,6 +31,7 @@ const (
 	epSparsifier      = "sparsifier"
 	epResistance      = "resistance"
 	epResistanceBatch = "resistance_batch"
+	epResparsify      = "resparsify"
 	epStats           = "stats"
 	epHealthz         = "healthz"
 	epMetrics         = "metrics"
@@ -38,7 +39,7 @@ const (
 
 var endpointNames = []string{
 	epEdgesAdd, epEdgesDelete, epSolve, epSolveBatch, epSparsifier,
-	epResistance, epResistanceBatch, epStats, epHealthz, epMetrics,
+	epResistance, epResistanceBatch, epResparsify, epStats, epHealthz, epMetrics,
 }
 
 // Status-code classes (codeClasses order matches codeClass indices).

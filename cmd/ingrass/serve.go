@@ -44,6 +44,12 @@ func cmdServe(args []string) {
 	coalesce := fs.Bool("coalesce", true, "coalesce concurrent single solves into blocked multi-RHS executions")
 	batchWindow := fs.Duration("batch-window", 200*time.Microsecond, "coalescing window for the batched query engine")
 	batchMax := fs.Int("batch-max", 8, "widest coalesced block (capped at 16)")
+	maintain := fs.Bool("maintain", false, "enable closed-loop maintenance: background re-sparsification when a health threshold trips")
+	maintainEvery := fs.Duration("maintain-every", 2*time.Second, "health-evaluation cadence for -maintain")
+	iterTarget := fs.Float64("iter-target", 0, "mean solve iterations that trigger a rebuild and steer density auto-tuning (0 = off)")
+	condThreshold := fs.Float64("cond-threshold", 0, "condition-number estimate that triggers a rebuild (0 = off)")
+	churnFactor := fs.Float64("churn-factor", 0, "rebuild once edges churned since setup reach this multiple of the sparsifier size (0 = off)")
+	densityTune := fs.Bool("density-tune", false, "auto-tune sparsifier density toward -iter-target at each rebuild")
 	_ = fs.Parse(args)
 
 	if _, err := solver.ParseFormat(*format); err != nil {
@@ -66,6 +72,14 @@ func cmdServe(args []string) {
 		DataDir:      *dataDir,
 		FsyncEvery:   *fsyncEvery,
 		SegmentBytes: *segmentBytes,
+		Maintenance: ingrass.MaintenanceOptions{
+			Enabled:       *maintain,
+			Interval:      *maintainEvery,
+			IterTarget:    *iterTarget,
+			CondThreshold: *condThreshold,
+			ChurnFactor:   *churnFactor,
+			DensityTune:   *densityTune,
+		},
 	}
 	if *dataDir != "" {
 		policy, err := ingrass.ParseFsyncPolicy(*fsyncMode)
@@ -326,6 +340,7 @@ func solveStatus(err error) int {
 //	GET    /sparsifier       ?gen=&format=text|json        export H
 //	GET    /resistance       ?u=&v=                        effective resistance
 //	POST   /resistance/batch {"pairs":[{"u":0,"v":5},..]}  blocked resistance sweep
+//	POST   /resparsify                                     force a background re-sparsification
 //	GET    /stats                                          engine + scheduler + per-endpoint counters (JSON)
 //	GET    /metrics                                        Prometheus text exposition
 //	GET    /healthz                                        liveness
@@ -553,6 +568,22 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			}
 		}
 		writeJSON(w, http.StatusOK, batchResistanceResponse{Results: items, Generation: gen})
+	}))
+
+	// POST /resparsify forces a background setup-basis rebuild + swap — the
+	// manual form of what -maintain triggers automatically. 409 when one is
+	// already in flight.
+	mux.HandleFunc("POST /resparsify", hm.wrap(epResparsify, func(w http.ResponseWriter, r *http.Request) {
+		gen, err := svc.ForceResparsify(r.Context())
+		if err != nil {
+			status := http.StatusUnprocessableEntity
+			if errors.Is(err, ingrass.ErrRebuildInProgress) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"generation": gen})
 	}))
 
 	mux.HandleFunc("GET /stats", hm.wrap(epStats, func(w http.ResponseWriter, r *http.Request) {

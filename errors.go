@@ -43,3 +43,11 @@ var (
 	// fresh directory).
 	ErrDataDirNotEmpty = errors.New("ingrass: data directory already holds state; use LoadService")
 )
+
+// Typed errors of the maintenance subsystem.
+var (
+	// ErrRebuildInProgress reports a ForceResparsify while another background
+	// re-sparsification (manual or controller-triggered) is already running;
+	// at most one basis rebuild is in flight per service.
+	ErrRebuildInProgress = service.ErrRebuildInProgress
+)

@@ -34,6 +34,14 @@ type Options struct {
 	Solver solver.Options
 	// Seed drives the random start vector.
 	Seed uint64
+	// StartVector, when non-nil with one entry per node, seeds the
+	// lambda_max power iteration in place of the random draw (it is
+	// deflated against ones and normalized first; a collapsed vector falls
+	// back to the random start). Feeding back Result.Vector from a previous
+	// estimate warm-starts the iteration: the maintenance loop's periodic
+	// drift checks converge in a couple of iterations this way, because the
+	// pencil's top eigenvector moves slowly under incremental edge churn.
+	StartVector []float64
 	// LambdaMaxOnly reports kappa = lambda_max(L_H^+ L_G), clamping
 	// lambda_min to 1. This is the convention of the GRASS line of papers,
 	// where H starts as a subgraph of G (lambda_min = 1 exactly) and
@@ -64,6 +72,10 @@ type Result struct {
 	Kappa     float64
 	// Iterations actually used for (max, min).
 	ItersMax, ItersMin int
+	// Vector is the final lambda_max iterate (unit norm, ones-deflated).
+	// Pass it as Options.StartVector to warm-start the next estimate on a
+	// slightly mutated pencil.
+	Vector []float64
 }
 
 // Estimate computes kappa(L_G, L_H). Both graphs must have the same node
@@ -99,14 +111,14 @@ func Estimate(ctx context.Context, g, h *graph.Graph, opts Options) (Result, err
 	hSolver := sparse.NewLaplacianSolver(h, o.Solver)
 	gSolver := sparse.NewLaplacianSolver(g, o.Solver)
 
-	lmax, itMax, err := pencilPower(ctx, gOp, hSolver, o)
+	lmax, itMax, vec, err := pencilPower(ctx, gOp, hSolver, o, o.StartVector)
 	if err != nil {
 		return Result{}, fmt.Errorf("cond: lambda_max: %w", err)
 	}
-	res := Result{LambdaMax: lmax, LambdaMin: 1, ItersMax: itMax}
+	res := Result{LambdaMax: lmax, LambdaMin: 1, ItersMax: itMax, Vector: vec}
 	if !o.LambdaMaxOnly {
 		// The inverse pencil swaps the roles of G and H.
-		linvMin, itMin, err := pencilPower(ctx, hOp, gSolver, o)
+		linvMin, itMin, _, err := pencilPower(ctx, hOp, gSolver, o, nil)
 		if err != nil {
 			return Result{}, fmt.Errorf("cond: lambda_min: %w", err)
 		}
@@ -120,16 +132,26 @@ func Estimate(ctx context.Context, g, h *graph.Graph, opts Options) (Result, err
 // pencilPower runs power iteration for the largest eigenvalue of
 // solveB^+ applied after opA, i.e. the largest lambda of A u = lambda B u.
 // The Rayleigh quotient used is (x'Ax)/(x'Bx), evaluated matrix-free.
-func pencilPower(ctx context.Context, opA sparse.Operator, solveB *sparse.LaplacianSolver, o Options) (float64, int, error) {
+// start, when usable (right length, non-degenerate after deflation), seeds
+// the iteration; the final iterate is returned alongside the estimate.
+func pencilPower(ctx context.Context, opA sparse.Operator, solveB *sparse.LaplacianSolver, o Options, start []float64) (float64, int, []float64, error) {
 	n := opA.Dim()
-	rng := vecmath.NewRNG(o.Seed + 0x5bd1)
 	x := make([]float64, n)
 	ax := make([]float64, n)
 	y := make([]float64, n)
-	rng.FillNormal(x)
-	vecmath.ProjectOutOnes(x)
-	if vecmath.Normalize(x) == 0 {
-		return 0, 0, fmt.Errorf("start vector collapsed")
+	seeded := false
+	if len(start) == n {
+		copy(x, start)
+		vecmath.ProjectOutOnes(x)
+		seeded = vecmath.Normalize(x) > 0
+	}
+	if !seeded {
+		rng := vecmath.NewRNG(o.Seed + 0x5bd1)
+		rng.FillNormal(x)
+		vecmath.ProjectOutOnes(x)
+		if vecmath.Normalize(x) == 0 {
+			return 0, 0, nil, fmt.Errorf("start vector collapsed")
+		}
 	}
 
 	prev := 0.0
@@ -137,7 +159,7 @@ func pencilPower(ctx context.Context, opA sparse.Operator, solveB *sparse.Laplac
 	iters := 0
 	for k := 0; k < o.MaxIters; k++ {
 		if err := solver.CheckCancel(ctx); err != nil {
-			return rho, iters, err
+			return rho, iters, nil, err
 		}
 		iters = k + 1
 		opA.Apply(ax, x)
@@ -147,7 +169,7 @@ func pencilPower(ctx context.Context, opA sparse.Operator, solveB *sparse.Laplac
 		solveB.ApplyLap(y, x)
 		den := vecmath.Dot(x, y)
 		if den <= 0 {
-			return 0, iters, fmt.Errorf("pencil denominator %g not positive", den)
+			return 0, iters, nil, fmt.Errorf("pencil denominator %g not positive", den)
 		}
 		rho = num / den
 
@@ -158,7 +180,7 @@ func pencilPower(ctx context.Context, opA sparse.Operator, solveB *sparse.Laplac
 		// the context before interpreting the iterate.
 		_, _ = solveB.Solve(ctx, y, ax)
 		if err := solver.CheckCancel(ctx); err != nil {
-			return rho, iters, err
+			return rho, iters, nil, err
 		}
 		vecmath.ProjectOutOnes(y)
 		if vecmath.Normalize(y) == 0 {
@@ -170,7 +192,7 @@ func pencilPower(ctx context.Context, opA sparse.Operator, solveB *sparse.Laplac
 		}
 		prev = rho
 	}
-	return rho, iters, nil
+	return rho, iters, append([]float64(nil), x...), nil
 }
 
 // DensePencil returns the ascending generalized eigenvalues of the pencil

@@ -315,20 +315,5 @@ func (s *Sparsifier) Density() float64 {
 // accumulate); the paper treats setup as a one-time cost, but a production
 // deployment can periodically amortize a rebuild. Counters are preserved.
 func (s *Sparsifier) Resparsify() error {
-	dec, err := lrd.Build(s.H, s.cfg.LRD)
-	if err != nil {
-		return fmt.Errorf("core: rebuild LRD: %w", err)
-	}
-	sk, err := sketch.New(dec, s.H)
-	if err != nil {
-		return fmt.Errorf("core: rebuild sketch: %w", err)
-	}
-	s.dec = dec
-	s.sk = sk
-	s.hBase = s.H.Snapshot()
-	s.filterLevel = dec.FilterLevel(s.cfg.TargetCond)
-	if s.cfg.MaxFilterLevel > 0 && s.filterLevel > s.cfg.MaxFilterLevel {
-		s.filterLevel = s.cfg.MaxFilterLevel
-	}
-	return nil
+	return s.AdoptBasis(s.H.Snapshot(), s.cfg.TargetCond)
 }

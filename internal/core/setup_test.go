@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+	"ingrass/internal/vecmath"
+)
+
+// applyStream drives a sparsifier through a deterministic add/delete stream
+// in fixed-size batches, deleting one earlier stream edge every fourth batch.
+func applyStream(t *testing.T, s *Sparsifier, stream []graph.Edge, batchSize int) {
+	t.Helper()
+	for k := 0; k+batchSize <= len(stream); k += batchSize {
+		batch := stream[k : k+batchSize]
+		if _, err := s.ApplyBatch(append([]graph.Edge(nil), batch...), nil); err != nil {
+			t.Fatal(err)
+		}
+		if (k/batchSize)%4 == 3 {
+			if _, err := s.DeleteEdges([]graph.Edge{batch[0]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// decisionsBitEqual demands two decision streams match exactly, including the
+// float bits of the distortion estimates that drove them.
+func decisionsBitEqual(t *testing.T, tag string, a, b []Decision) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: decision counts %d vs %d", tag, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Edge != b[i].Edge || a[i].Action != b[i].Action || a[i].Target != b[i].Target ||
+			math.Float64bits(a[i].Distortion) != math.Float64bits(b[i].Distortion) {
+			t.Fatalf("%s: decision %d: %+v vs %+v", tag, i, a[i], b[i])
+		}
+	}
+}
+
+// roundTrip simulates the WAL boundary: the snapshot a maintenance record
+// carries arrives at replay as freshly decoded bytes, not the same pointer.
+func roundTrip(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out, err := graph.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSwapEquivalenceProperty is the maintenance subsystem's correctness
+// anchor: a background rebuild — BuildSetup on a frozen snapshot of H while
+// further edges land, then AdoptSetup with its endpoint-only sketch catch-up —
+// must leave the sparsifier in exactly the state AdoptBasis produces from the
+// serialized snapshot bytes (the WAL-replay path). Both engines then face an
+// identical suffix stream and must emit bit-identical decisions and graphs,
+// across seeds and initial densities.
+func TestSwapEquivalenceProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, density := range []float64{0.1, 0.3} {
+			t.Run(fmt.Sprintf("seed=%d/density=%g", seed, density), func(t *testing.T) {
+				g1, live := buildGridPair(t, seed, density)
+				g2, replayed := buildGridPair(t, seed, density)
+				graphsBitEqual(t, "initial G", g1, g2)
+
+				n := live.G.NumNodes()
+				prefix := streamEdges(n, 96, seed^0x10)
+				applyStream(t, live, prefix, 8)
+				applyStream(t, replayed, prefix, 8)
+
+				// The live engine snapshots H and starts the offline build;
+				// the delta stream lands while the build runs.
+				hSnap := live.H.Snapshot()
+				basis, err := BuildSetup(hSnap, live.Config())
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta := streamEdges(n, 24, seed^0x20)
+				applyStream(t, live, delta, 8)
+				applyStream(t, replayed, delta, 8)
+				if err := live.AdoptSetup(basis); err != nil {
+					t.Fatal(err)
+				}
+
+				// The replayed engine adopts from the snapshot's serialized
+				// bytes — what a recovery replaying the maintenance record does.
+				if err := replayed.AdoptBasis(roundTrip(t, hSnap), basis.TargetCond()); err != nil {
+					t.Fatal(err)
+				}
+
+				if live.FilterLevel() != replayed.FilterLevel() {
+					t.Fatalf("filter levels %d vs %d", live.FilterLevel(), replayed.FilterLevel())
+				}
+				graphsBitEqual(t, "H after swap", live.H, replayed.H)
+
+				// The decisive check: identical downstream behavior.
+				suffix := streamEdges(n, 80, seed^0x30)
+				for k := 0; k+10 <= len(suffix); k += 10 {
+					batch := suffix[k : k+10]
+					dLive, err := live.ApplyBatch(append([]graph.Edge(nil), batch...), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dRep, err := replayed.ApplyBatch(append([]graph.Edge(nil), batch...), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					decisionsBitEqual(t, fmt.Sprintf("suffix batch %d", k), dLive.Additions, dRep.Additions)
+				}
+				graphsBitEqual(t, "final G", live.G, replayed.G)
+				graphsBitEqual(t, "final H", live.H, replayed.H)
+				if live.Stats() != replayed.Stats() {
+					t.Fatalf("stats diverge: %+v vs %+v", live.Stats(), replayed.Stats())
+				}
+			})
+		}
+	}
+}
+
+// buildGridPair builds a random-graph sparsifier with fully deterministic
+// seeds so two calls with the same arguments are bit-identical.
+func buildGridPair(t *testing.T, seed uint64, density float64) (*graph.Graph, *Sparsifier) {
+	t.Helper()
+	const n, extra = 60, 120
+	r := vecmath.NewRNG(seed)
+	g := graph.New(n, n+extra)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[r.Intn(i)], r.Range(0.1, 10))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, r.Range(0.1, 10))
+		}
+	}
+	init, err := grass.InitialSparsifier(g, density, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSparsifier(g, init.H, Config{
+		TargetCond: 50,
+		LRD:        lrd.Config{Krylov: krylov.Config{Seed: seed ^ 0x1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+// TestAdoptSetupValidation pins the guard rails: a basis is single-use, must
+// match the sparsifier's node count, and can never index more edges than the
+// live H holds.
+func TestAdoptSetupValidation(t *testing.T) {
+	_, s := setup(t, 8, 8, 0.1, 50)
+	basis, err := BuildSetup(s.H.Snapshot(), s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdoptSetup(basis); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdoptSetup(basis); err == nil {
+		t.Fatal("want error adopting a consumed basis")
+	}
+
+	// Node-count mismatch.
+	small := graph.New(4, 3)
+	small.AddEdge(0, 1, 1)
+	small.AddEdge(1, 2, 1)
+	small.AddEdge(2, 3, 1)
+	if err := s.AdoptBasis(small, 50); err == nil {
+		t.Fatal("want error on node-count mismatch")
+	}
+
+	// A basis from a future H (more edges than the adopter) must be refused.
+	_, ahead := setup(t, 8, 8, 0.1, 50)
+	if _, err := ahead.ApplyBatch(streamEdges(ahead.G.NumNodes(), 40, 9), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, behind := setup(t, 8, 8, 0.1, 50)
+	b2, err := BuildSetup(ahead.H.Snapshot(), ahead.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if behind.H.NumEdges() < ahead.H.NumEdges() {
+		if err := behind.AdoptSetup(b2); err == nil {
+			t.Fatal("want error adopting a basis ahead of H")
+		}
+	}
+}
+
+// TestAdoptBasisMatchesResparsify: adopting a basis built from the current H
+// is exactly Resparsify (which is implemented through the same path); the
+// test pins that equivalence against regressions in either entry point.
+func TestAdoptBasisMatchesResparsify(t *testing.T) {
+	_, a := setup(t, 8, 8, 0.1, 50)
+	_, b := setup(t, 8, 8, 0.1, 50)
+	stream := streamEdges(a.G.NumNodes(), 60, 11)
+	applyStream(t, a, stream, 6)
+	applyStream(t, b, stream, 6)
+
+	if err := a.Resparsify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AdoptBasis(b.H.Snapshot(), b.Config().TargetCond); err != nil {
+		t.Fatal(err)
+	}
+	if a.FilterLevel() != b.FilterLevel() {
+		t.Fatalf("filter levels %d vs %d", a.FilterLevel(), b.FilterLevel())
+	}
+	suffix := streamEdges(a.G.NumNodes(), 30, 12)
+	dA, err := a.ApplyBatch(append([]graph.Edge(nil), suffix...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB, err := b.ApplyBatch(append([]graph.Edge(nil), suffix...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisionsBitEqual(t, "post-resparsify", dA.Additions, dB.Additions)
+	graphsBitEqual(t, "final H", a.H, b.H)
+}

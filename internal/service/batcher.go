@@ -23,6 +23,10 @@ const (
 	opAdd opKind = iota
 	opDelete
 	opBarrier
+	// opMaintain carries a finished setup basis from a background rebuild;
+	// the batcher flushes the pending batch and adopts it (maintenance.go),
+	// so generation assignment and WAL appends stay single-writer-ordered.
+	opMaintain
 )
 
 // WriteResult reports one completed write request.
@@ -69,6 +73,7 @@ func (p *Pending) complete(res WriteResult, err error) {
 type request struct {
 	kind  opKind
 	edges []graph.Edge
+	basis *core.SetupBasis // opMaintain only
 	p     *Pending
 }
 
@@ -99,6 +104,13 @@ func (e *Engine) run() {
 		}
 	}
 	accept := func(r *request) {
+		if r.kind == opMaintain {
+			// The swap is ordered after everything already accepted: flush
+			// the pending batch first, then adopt.
+			flush()
+			e.applyMaintenance(r)
+			return
+		}
 		batch = append(batch, r)
 		batchEdges += len(r.edges)
 		if r.kind == opBarrier || batchEdges >= e.opts.MaxBatch {
@@ -123,6 +135,12 @@ func (e *Engine) run() {
 			for {
 				select {
 				case r := <-e.reqs:
+					if r.kind == opMaintain {
+						// Best-effort by design: the engine is going away, so
+						// the rebuilt basis is simply dropped.
+						r.p.complete(WriteResult{}, ErrClosed)
+						continue
+					}
 					batch = append(batch, r)
 				default:
 					flush()

@@ -77,6 +77,7 @@ type streamOp struct {
 func makeStream(n, ops int, seed uint64) []streamOp {
 	rng := vecmath.NewRNG(seed)
 	live := map[uint64]int{} // canonical pair key -> deletable count
+	dead := map[uint64]bool{}
 	var keys []uint64
 	keyEdges := map[uint64]graph.Edge{}
 	var out []streamOp
@@ -92,6 +93,7 @@ func makeStream(n, ops int, seed uint64) []streamOp {
 				keys[ki] = keys[len(keys)-1]
 				keys = keys[:len(keys)-1]
 				delete(live, k)
+				dead[k] = true
 			}
 			continue
 		}
@@ -104,10 +106,14 @@ func makeStream(n, ops int, seed uint64) []streamOp {
 			e := graph.Edge{U: u, V: v, W: 0.25 + 2*rng.Float64()}
 			batch[i] = e
 			k := graph.KeyOf(u, v)
-			if live[k] == 0 {
+			// A pair is deletable at most once, and never after it has been
+			// soft-deleted: duplicate pairs coalesce in the core, and a
+			// re-added pair aliases the tombstone left by its deletion, so a
+			// second delete of either kind would fail.
+			if live[k] == 0 && !dead[k] {
 				keys = append(keys, k)
+				live[k] = 1
 			}
-			live[k]++
 			keyEdges[k] = e
 		}
 		out = append(out, streamOp{edges: batch})

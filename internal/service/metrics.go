@@ -40,6 +40,10 @@ func (e *Engine) initHistograms(reg *obs.Registry) {
 	e.stats.spmvDurSELL = reg.Histogram("ingrass_spmv_duration_seconds",
 		"wall-clock latency of frozen-operator SpMV applications by storage format",
 		obs.ScaleSeconds, obs.Label{Key: "format", Value: "sell"})
+	e.stats.maintRebuildDur = reg.Histogram("ingrass_maintenance_rebuild_duration_seconds",
+		"wall-clock latency of offline setup-basis rebuilds (no engine lock held)", obs.ScaleSeconds)
+	e.stats.maintSwapDur = reg.Histogram("ingrass_maintenance_swap_duration_seconds",
+		"in-lock latency of setup-basis adoptions on the writer goroutine", obs.ScaleSeconds)
 }
 
 // registerBridges exposes the engine's existing atomic counters through reg.
@@ -74,12 +78,34 @@ func (e *Engine) registerBridges(reg *obs.Registry) {
 	ctr("ingrass_checkpoints_total", "completed checkpoints", e.stats.checkpoints.Load)
 	ctr("ingrass_kernel_forks_total", "fork-join dispatches into the shared kernel pools", kernel.SharedForks)
 
+	ctr("ingrass_maintenance_triggers_total", "maintenance rebuilds triggered by signal",
+		e.stats.maintTrigIters.Load, obs.Label{Key: "reason", Value: "iterations"})
+	ctr("ingrass_maintenance_triggers_total", "maintenance rebuilds triggered by signal",
+		e.stats.maintTrigCond.Load, obs.Label{Key: "reason", Value: "cond"})
+	ctr("ingrass_maintenance_triggers_total", "maintenance rebuilds triggered by signal",
+		e.stats.maintTrigChurn.Load, obs.Label{Key: "reason", Value: "churn"})
+	ctr("ingrass_maintenance_triggers_total", "maintenance rebuilds triggered by signal",
+		e.stats.maintTrigManual.Load, obs.Label{Key: "reason", Value: "manual"})
+	ctr("ingrass_maintenance_rebuilds_total", "background setup-basis swaps published", e.stats.maintRebuilds.Load)
+	ctr("ingrass_maintenance_failures_total", "background rebuilds aborted at any stage", e.stats.maintFailures.Load)
+	ctr("ingrass_generations_evicted_total", "snapshots evicted by the post-swap GC pressure policy", e.stats.gensEvicted.Load)
+
 	reg.GaugeFunc("ingrass_generation", "snapshot generation currently served",
 		func() float64 { return float64(e.stats.generation.Load()) })
 	reg.GaugeFunc("ingrass_last_checkpoint_generation", "generation covered by the newest checkpoint",
 		func() float64 { return float64(e.stats.lastCheckpoint.Load()) })
 	reg.GaugeFunc("ingrass_write_queue_depth", "write requests awaiting a flush",
 		func() float64 { return float64(e.stats.queueDepth.Load()) })
+	reg.GaugeFunc("ingrass_maintenance_state", "controller state (0=disabled 1=idle 2=rebuilding 3=swapping 4=cooldown)",
+		func() float64 { return float64(e.stats.maintState.Load()) })
+	reg.GaugeFunc("ingrass_maintenance_last_generation", "generation published by the newest basis swap",
+		func() float64 { return float64(e.stats.maintLastGen.Load()) })
+	reg.GaugeFunc("ingrass_maintenance_target_cond", "target condition number of the current setup basis (density knob position)",
+		func() float64 { return math.Float64frombits(e.stats.maintTargetCond.Load()) })
+	reg.GaugeFunc("ingrass_maintenance_iteration_trend", "mean outer FCG iterations per solve over the latest evaluation window",
+		func() float64 { return math.Float64frombits(e.stats.maintIterTrend.Load()) })
+	reg.GaugeFunc("ingrass_maintenance_kappa", "latest periodic condition-number estimate",
+		func() float64 { return math.Float64frombits(e.stats.maintKappa.Load()) })
 
 	// Operator build info: one series per storage format, 1 on the format the
 	// served generation froze (build-info idiom — the label carries the value).

@@ -29,6 +29,8 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
 	"time"
 
 	"sync"
@@ -80,6 +82,10 @@ type Options struct {
 	// paths still record through nil-safe histogram handles at the cost of
 	// a few predicted branches.
 	Obs *obs.Registry
+	// Maintenance configures the closed-loop maintenance controller
+	// (maintenance.go). The zero value leaves the controller off; manual
+	// Resparsify calls still work.
+	Maintenance MaintenanceOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +101,7 @@ func (o Options) withDefaults() Options {
 	if o.Retain <= 0 {
 		o.Retain = 4
 	}
+	o.Maintenance = o.Maintenance.withDefaults()
 	return o
 }
 
@@ -119,6 +126,14 @@ type Engine struct {
 	// two interleaved checkpoints would just waste I/O).
 	ckptMu sync.Mutex
 
+	// Maintenance state: maintFlight is the single-rebuild-in-flight latch,
+	// maintMon the controller's cross-evaluation memory, and churnBase /
+	// basisEdges anchor the churn trigger at the current setup basis.
+	maintFlight atomic.Bool
+	maintMon    maintMonitor
+	churnBase   atomic.Uint64
+	basisEdges  atomic.Uint64
+
 	reqs chan *request
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -140,6 +155,11 @@ var (
 	// built without a wal.Store.
 	ErrNoStore = errors.New("service: engine has no durable store")
 )
+
+// errNotDurableWrap tags a WAL append failure with the ErrNotDurable class.
+func errNotDurableWrap(err error) error {
+	return fmt.Errorf("%w: %v", ErrNotDurable, err)
+}
 
 // New wraps an already-set-up sparsifier in an engine and publishes the
 // generation-0 snapshot. The engine takes ownership of sp: the caller must
@@ -165,8 +185,16 @@ func New(sp *core.Sparsifier, opts Options) *Engine {
 	if e.opts.Obs != nil {
 		e.registerBridges(e.opts.Obs)
 	}
+	// Anchor the maintenance signals at the initial basis.
+	e.basisEdges.Store(uint64(sp.H.NumEdges()))
+	e.stats.maintTargetCond.Store(math.Float64bits(sp.Config().TargetCond))
+	e.stats.maintState.Store(int32(e.idleMaintState()))
 	e.wg.Add(1)
 	go e.run()
+	if e.opts.Maintenance.Enabled {
+		e.wg.Add(1)
+		go e.maintLoop()
+	}
 	return e
 }
 

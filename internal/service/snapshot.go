@@ -274,6 +274,31 @@ func (r *Registry) Current() *Snapshot {
 	return r.cur
 }
 
+// TrimTo evicts all but the newest keep retained snapshots (minimum 1),
+// returning how many were dropped. The maintenance swap path uses it as a
+// GC pressure valve: generations predating a basis swap hold
+// factorizations of a superseded embedding, and clearing the registry's
+// references (the backing slots are nilled, not just re-sliced) lets their
+// arena reservations and workspace pools free as soon as pinned readers
+// drain. The current snapshot is never evicted.
+func (r *Registry) TrimTo(keep int) int {
+	if keep < 1 {
+		keep = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) <= keep {
+		return 0
+	}
+	dropped := len(r.ring) - keep
+	kept := copy(r.ring, r.ring[dropped:])
+	for i := kept; i < len(r.ring); i++ {
+		r.ring[i] = nil
+	}
+	r.ring = r.ring[:kept]
+	return dropped
+}
+
 // At returns the retained snapshot with the given generation, if any.
 func (r *Registry) At(gen uint64) (*Snapshot, bool) {
 	r.mu.RLock()

@@ -46,6 +46,24 @@ type Stats struct {
 	checkpoints    atomic.Uint64
 	lastCheckpoint atomic.Uint64
 
+	// Closed-loop maintenance counters (maintenance.go). Triggers are
+	// split by reason; rebuilds count published swaps, failures any stage
+	// that aborted one. The Float64bits gauges track the tuned TargetCond
+	// knob, the iteration-mean trend the tuner steers by, and the latest
+	// kappa estimate.
+	maintTrigIters  atomic.Uint64
+	maintTrigCond   atomic.Uint64
+	maintTrigChurn  atomic.Uint64
+	maintTrigManual atomic.Uint64
+	maintRebuilds   atomic.Uint64
+	maintFailures   atomic.Uint64
+	maintLastGen    atomic.Uint64
+	maintState      atomic.Int32
+	maintTargetCond atomic.Uint64 // Float64bits
+	maintIterTrend  atomic.Uint64 // Float64bits
+	maintKappa      atomic.Uint64 // Float64bits
+	gensEvicted     atomic.Uint64
+
 	// Frozen-operator shape of the generation currently served, recorded at
 	// factorization time: the storage format of the G operator, its SELL
 	// padding ratio (Float64bits), and the arena bytes reserved across the
@@ -67,6 +85,25 @@ type Stats struct {
 	// layout that produced it.
 	spmvDurCSR  *obs.Histogram
 	spmvDurSELL *obs.Histogram
+
+	// Maintenance pipeline latencies: the offline basis build (lock-free)
+	// and the in-lock adoption swap.
+	maintRebuildDur *obs.Histogram
+	maintSwapDur    *obs.Histogram
+}
+
+// noteMaintTrigger counts one fired maintenance trigger by reason.
+func (s *Stats) noteMaintTrigger(r MaintReason) {
+	switch r {
+	case MaintReasonIters:
+		s.maintTrigIters.Add(1)
+	case MaintReasonCond:
+		s.maintTrigCond.Add(1)
+	case MaintReasonChurn:
+		s.maintTrigChurn.Add(1)
+	case MaintReasonManual:
+		s.maintTrigManual.Add(1)
+	}
 }
 
 // noteOperators records the frozen shape of a generation's operators after
@@ -173,6 +210,24 @@ type StatsView struct {
 	RequestsCoalesced uint64  `json:"requests_coalesced"`
 	AvgBlockFill      float64 `json:"avg_block_fill"`
 	BatchQueueDepth   int64   `json:"batch_queue_depth"`
+	// Closed-loop maintenance: trigger counts by reason, completed /
+	// failed background rebuilds, the generation the newest swap
+	// published, the controller state, the (auto-tuned) TargetCond knob
+	// position, the iteration-mean trend the loop steers by, the latest
+	// periodic kappa estimate, and snapshots evicted by the post-swap GC
+	// pressure policy.
+	MaintTriggersIterations uint64  `json:"maint_triggers_iterations"`
+	MaintTriggersCond       uint64  `json:"maint_triggers_cond"`
+	MaintTriggersChurn      uint64  `json:"maint_triggers_churn"`
+	MaintTriggersManual     uint64  `json:"maint_triggers_manual"`
+	MaintRebuilds           uint64  `json:"maint_rebuilds"`
+	MaintFailures           uint64  `json:"maint_failures"`
+	MaintLastGeneration     uint64  `json:"maint_last_generation"`
+	MaintState              string  `json:"maint_state"`
+	MaintTargetCond         float64 `json:"maint_target_cond"`
+	MaintIterTrend          float64 `json:"maint_iter_trend"`
+	MaintKappa              float64 `json:"maint_kappa"`
+	GenerationsEvicted      uint64  `json:"generations_evicted"`
 }
 
 // View snapshots the counters.
@@ -204,5 +259,18 @@ func (s *Stats) View() StatsView {
 		WALErrors:             s.walErrors.Load(),
 		Checkpoints:           s.checkpoints.Load(),
 		LastCheckpointGen:     s.lastCheckpoint.Load(),
+
+		MaintTriggersIterations: s.maintTrigIters.Load(),
+		MaintTriggersCond:       s.maintTrigCond.Load(),
+		MaintTriggersChurn:      s.maintTrigChurn.Load(),
+		MaintTriggersManual:     s.maintTrigManual.Load(),
+		MaintRebuilds:           s.maintRebuilds.Load(),
+		MaintFailures:           s.maintFailures.Load(),
+		MaintLastGeneration:     s.maintLastGen.Load(),
+		MaintState:              MaintState(s.maintState.Load()).String(),
+		MaintTargetCond:         math.Float64frombits(s.maintTargetCond.Load()),
+		MaintIterTrend:          math.Float64frombits(s.maintIterTrend.Load()),
+		MaintKappa:              math.Float64frombits(s.maintKappa.Load()),
+		GenerationsEvicted:      s.gensEvicted.Load(),
 	}
 }

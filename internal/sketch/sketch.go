@@ -102,6 +102,29 @@ func New(d *lrd.Decomposition, h *graph.Graph) (*Structure, error) {
 	return s, nil
 }
 
+// Advance re-points the structure at h, a longer view of the same
+// sparsifier it currently indexes, and registers the edges appended since
+// the structure was built. It is the catch-up step for setup bases built
+// offline on a COW snapshot: the background rebuild indexes the frozen
+// snapshot, then Advance folds in whatever the writer admitted while the
+// build ran. Because Register consults only an edge's endpoints and the
+// decomposition's (immutable) cluster ids — never edge weights — the result
+// is bit-identical to having built the structure against h directly.
+func (s *Structure) Advance(h *graph.Graph) error {
+	if h.NumNodes() != s.d.N {
+		return fmt.Errorf("sketch: advance graph has %d nodes, decomposition %d", h.NumNodes(), s.d.N)
+	}
+	old := s.h.NumEdges()
+	if h.NumEdges() < old {
+		return fmt.Errorf("sketch: advance graph has %d edges, structure already indexes %d", h.NumEdges(), old)
+	}
+	s.h = h
+	for ei := old; ei < h.NumEdges(); ei++ {
+		s.Register(ei)
+	}
+	return nil
+}
+
 // Decomposition returns the underlying LRD decomposition.
 func (s *Structure) Decomposition() *lrd.Decomposition { return s.d }
 

@@ -1,0 +1,71 @@
+package wal
+
+import "bytes"
+
+// Fault-injection support for the durability test tier. Two failure shapes
+// cover the interesting recovery space:
+//
+//   - Options.FailAppend (wal.go) rejects an append before any byte reaches
+//     the file — a clean I/O error. The engine's response is its sticky
+//     degraded mode (writes keep applying in memory, acknowledged
+//     ErrNotDurable, healed by the next checkpoint).
+//
+//   - CrashAppend below writes a PREFIX of a framed record and then closes
+//     the store with no fsync — the on-disk image of a process killed
+//     mid-append. Recovery must classify the torn frame as crash damage and
+//     truncate it away (the record was never acknowledged), not report
+//     corruption.
+//
+// Both are exported from the package proper (not a _test.go file) because
+// the service-layer soak and crash tests drive them from other packages.
+
+// CrashAppend frames rec, writes only the first n bytes of the frame to the
+// active segment, and abandons the store as a crashed process would: the
+// file is closed without a sync and every later method returns ErrClosed.
+// n >= the frame length writes the whole frame (a crash after the write but
+// before the acknowledgement); n = 0 writes nothing. Reopening the
+// directory afterwards exercises the torn-tail repair path.
+func (st *Store) CrashAppend(rec BatchRecord, n int) error {
+	payload, err := rec.encodePayload()
+	if err != nil {
+		return err
+	}
+	var frame bytes.Buffer
+	if _, err := writeFrame(&frame, payload); err != nil {
+		return err
+	}
+	b := frame.Bytes()
+	if n > len(b) {
+		n = len(b)
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	if n > 0 {
+		if _, err := st.active.Write(b[:n]); err != nil {
+			st.mu.Unlock()
+			return err
+		}
+	}
+	st.closed = true
+	err = st.active.Close()
+	st.mu.Unlock()
+	if st.flushQuit != nil {
+		close(st.flushQuit)
+		st.flushWG.Wait()
+	}
+	return err
+}
+
+// FrameSize returns the framed on-disk size of rec in bytes, so crash tests
+// can aim CrashAppend at precise tear offsets (mid-header, mid-payload, one
+// byte short of complete).
+func FrameSize(rec BatchRecord) (int, error) {
+	payload, err := rec.encodePayload()
+	if err != nil {
+		return 0, err
+	}
+	return frameHeaderSize + len(payload), nil
+}

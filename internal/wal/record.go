@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -24,10 +25,37 @@ type BatchRecord struct {
 	// DelBatches are the applied deletion requests, in application order.
 	// Deletions identify edges by endpoints; weights are not stored.
 	DelBatches [][]graph.Edge
+	// Maint, when non-nil, makes this a maintenance record: the generation
+	// was produced by a background setup-basis swap, not a write batch. A
+	// maintenance record carries no edges (Adds and DelBatches must be
+	// empty).
+	Maint *MaintRecord
 }
 
-// recordVersion is bumped on incompatible payload changes.
-const recordVersion = 1
+// MaintRecord is the durable image of one background re-sparsification
+// swap. Replaying core.AdoptBasis(HBase, TargetCond) after the preceding
+// batch records reproduces the post-swap engine state bit-exactly: the live
+// swap built its LRD decomposition and sketch from these same frozen
+// snapshot bytes, and the sketch catch-up over later edges registers only
+// (immutable) endpoints, so replay and live converge on identical
+// structures (the persist.go invariant).
+type MaintRecord struct {
+	// TargetCond is the (possibly auto-tuned) target condition number the
+	// rebuilt basis used.
+	TargetCond float64
+	// HBase is the frozen sparsifier snapshot the basis was built from.
+	// The full graph is stored: sparsifier weights mutate in place (merge
+	// and redistribution scaling, deletion tombstones), so no edge-count
+	// prefix of the current sparsifier can reconstruct it.
+	HBase *graph.Graph
+}
+
+// Record payload versions. A version-1 record is an applied write batch; a
+// version-2 record is a maintenance swap.
+const (
+	recordVersion      = 1
+	recordVersionMaint = 2
+)
 
 // appendUvarint appends x in unsigned LEB128.
 func appendUvarint(b []byte, x uint64) []byte {
@@ -46,6 +74,14 @@ func appendUvarint(b []byte, x uint64) []byte {
 //	adds        nAdds × { u uvarint, v uvarint, w uint64 LE (Float64bits) }
 //	nDelBatches uvarint
 //	delBatches  nDelBatches × { n uvarint, n × { u uvarint, v uvarint } }
+//
+// Maintenance records (version 2) instead carry the swap image:
+//
+//	version    uvarint (2)
+//	gen        uvarint
+//	targetCond uint64 LE (Float64bits)
+//	hbaseLen   uvarint
+//	hbase      binary graph (internal/graph.WriteBinary)
 func (r BatchRecord) encode(buf []byte) []byte {
 	buf = appendUvarint(buf[:0], recordVersion)
 	buf = appendUvarint(buf, r.Gen)
@@ -64,6 +100,31 @@ func (r BatchRecord) encode(buf []byte) []byte {
 		}
 	}
 	return buf
+}
+
+// encodePayload serializes the record payload in the version its contents
+// demand, returning an error for an unencodable record (a maintenance
+// record missing its graph or mixing in batch edges).
+func (r BatchRecord) encodePayload() ([]byte, error) {
+	if r.Maint == nil {
+		return r.encode(nil), nil
+	}
+	if r.Maint.HBase == nil {
+		return nil, fmt.Errorf("wal: maintenance record without basis graph")
+	}
+	if len(r.Adds) > 0 || len(r.DelBatches) > 0 {
+		return nil, fmt.Errorf("wal: maintenance record must not carry batch edges")
+	}
+	buf := appendUvarint(nil, recordVersionMaint)
+	buf = appendUvarint(buf, r.Gen)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Maint.TargetCond))
+	var gb bytes.Buffer
+	if err := graph.WriteBinary(&gb, r.Maint.HBase); err != nil {
+		return nil, err
+	}
+	buf = appendUvarint(buf, uint64(gb.Len()))
+	buf = append(buf, gb.Bytes()...)
+	return buf, nil
 }
 
 // byteReader walks an in-memory payload; every read error means the framed
@@ -100,7 +161,11 @@ func decodeRecord(payload []byte) (BatchRecord, error) {
 	if err != nil {
 		return rec, err
 	}
-	if ver != recordVersion {
+	switch ver {
+	case recordVersion:
+	case recordVersionMaint:
+		return decodeMaintRecord(r, payload)
+	default:
 		return rec, fmt.Errorf("wal: record version %d not supported", ver)
 	}
 	if rec.Gen, err = r.uvarint(); err != nil {
@@ -169,6 +234,36 @@ func decodeRecord(payload []byte) (BatchRecord, error) {
 	return rec, nil
 }
 
+// decodeMaintRecord parses a version-2 payload after its version byte.
+func decodeMaintRecord(r *byteReader, payload []byte) (BatchRecord, error) {
+	var rec BatchRecord
+	var err error
+	if rec.Gen, err = r.uvarint(); err != nil {
+		return rec, err
+	}
+	tc, err := r.u64()
+	if err != nil {
+		return rec, err
+	}
+	size, err := r.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if uint64(r.off)+size > uint64(len(payload)) {
+		return rec, fmt.Errorf("wal: maintenance record graph block overruns payload")
+	}
+	g, err := graph.ReadBinary(bytes.NewReader(payload[r.off : r.off+int(size)]))
+	if err != nil {
+		return rec, err
+	}
+	r.off += int(size)
+	if r.off != len(payload) {
+		return rec, fmt.Errorf("wal: %d trailing bytes after maintenance record", len(payload)-r.off)
+	}
+	rec.Maint = &MaintRecord{TargetCond: math.Float64frombits(tc), HBase: g}
+	return rec, nil
+}
+
 // recordGen peeks only the generation out of a payload (used by the open
 // scan, which validates framing without materializing edge slices).
 func recordGen(payload []byte) (uint64, error) {
@@ -177,7 +272,7 @@ func recordGen(payload []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if ver != recordVersion {
+	if ver != recordVersion && ver != recordVersionMaint {
 		return 0, fmt.Errorf("wal: record version %d not supported", ver)
 	}
 	return r.uvarint()

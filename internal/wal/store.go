@@ -298,7 +298,10 @@ func (st *Store) sealActiveLocked() error {
 func (st *Store) Append(rec BatchRecord) (int, error) {
 	start := time.Now()
 	defer st.opts.AppendDur.ObserveSince(start)
-	payload := rec.encode(nil)
+	payload, err := rec.encodePayload()
+	if err != nil {
+		return 0, err
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
@@ -306,6 +309,11 @@ func (st *Store) Append(rec BatchRecord) (int, error) {
 	}
 	if st.damaged {
 		return 0, fmt.Errorf("wal: active segment damaged by an earlier failed append; a checkpoint must rotate it first")
+	}
+	if f := st.opts.FailAppend; f != nil {
+		if err := f(rec); err != nil {
+			return 0, err
+		}
 	}
 	n, err := writeFrame(st.active, payload)
 	if err != nil {
@@ -571,6 +579,17 @@ func (st *Store) RestoreState() (*core.Sparsifier, uint64, error) {
 	err = st.Replay(ck.Gen, func(rec BatchRecord) error {
 		if rec.Gen != gen+1 {
 			return fmt.Errorf("%w: generation gap in WAL (have %d, next record %d)", ErrCorrupt, gen, rec.Gen)
+		}
+		if rec.Maint != nil {
+			// A maintenance record replays the background setup-basis swap
+			// exactly as the live engine performed it: rebuild from the
+			// recorded snapshot, then catch the sketch up over the edges
+			// the preceding batch records appended.
+			if err := sp.AdoptBasis(rec.Maint.HBase, rec.Maint.TargetCond); err != nil {
+				return fmt.Errorf("wal: replay gen %d maintenance swap: %w", rec.Gen, err)
+			}
+			gen = rec.Gen
+			return nil
 		}
 		if len(rec.Adds) > 0 {
 			if _, err := sp.ApplyBatch(rec.Adds, nil); err != nil {

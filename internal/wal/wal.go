@@ -134,6 +134,13 @@ type Options struct {
 	AppendDur     *obs.Histogram
 	SyncDur       *obs.Histogram
 	CheckpointDur *obs.Histogram
+
+	// FailAppend is a fault-injection hook for tests (see fault.go): when
+	// non-nil it runs under the store lock before any bytes of an append
+	// reach the file, and a non-nil return fails the Append with no on-disk
+	// effect — the shape of an ENOSPC-class error. Production code leaves
+	// it nil.
+	FailAppend func(BatchRecord) error
 }
 
 func (o Options) withDefaults() Options {

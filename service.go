@@ -87,6 +87,95 @@ type ServiceOptions struct {
 	FsyncEvery time.Duration
 	// SegmentBytes rotates WAL segments at this size (default 64 MiB).
 	SegmentBytes int64
+
+	// Maintenance configures the closed-loop maintenance controller: when
+	// Enabled, the service watches its own health signals (solve iteration
+	// trend, periodic condition-number estimates, edge churn) and re-runs the
+	// inGRASS setup phase in the background — rebuilding the LRD embedding
+	// and sketch on a copy-on-write snapshot without stalling writes — when a
+	// threshold trips. See MaintenanceOptions.
+	Maintenance MaintenanceOptions
+}
+
+// MaintenanceOptions configures closed-loop sparsifier maintenance. The
+// incremental update path filters each new edge against the embedding
+// computed at setup time; under sustained churn that embedding goes stale and
+// solve iteration counts creep upward. The maintenance controller closes the
+// loop: it evaluates health signals on a fixed cadence and, when one trips,
+// rebuilds the setup basis from the current sparsifier in the background and
+// swaps it in as a new generation (logged to the WAL before publication,
+// exactly like a write batch).
+//
+// Every threshold is opt-in: a zero IterTarget, CondThreshold, or
+// ChurnFactor disables that trigger. With Enabled false the controller never
+// starts, but ForceResparsify still works.
+type MaintenanceOptions struct {
+	// Enabled starts the background controller goroutine.
+	Enabled bool
+	// Interval is the health-evaluation cadence (default 2s).
+	Interval time.Duration
+	// IterTarget is the mean solve iteration count the loop steers toward:
+	// evaluations whose recent mean exceeds it trigger a rebuild, and
+	// DensityTune adjusts sparsifier density against it. 0 disables the
+	// iteration trigger.
+	IterTarget float64
+	// MinSolves is the fewest solves an evaluation window needs before its
+	// iteration mean is trusted (default 8).
+	MinSolves int
+	// CondThreshold triggers a rebuild when the periodic condition-number
+	// estimate kappa(L_G, L_H) exceeds it. 0 disables condition checks.
+	CondThreshold float64
+	// CondEvery runs the condition estimate every Nth evaluation (default 4);
+	// it costs a few preconditioned solves.
+	CondEvery int
+	// CondIters bounds the power iterations per estimate (default 12; a warm
+	// start from the previous estimate keeps a small budget accurate).
+	CondIters int
+	// CondSeed seeds the first (cold) estimate.
+	CondSeed uint64
+	// ChurnFactor triggers a rebuild once the edges applied since the current
+	// basis reach ChurnFactor × (basis sparsifier edges). 0 disables the
+	// churn trigger.
+	ChurnFactor float64
+	// CooldownTicks suppresses new triggers for this many evaluations after a
+	// swap, letting the signals re-baseline (default 5).
+	CooldownTicks int
+	// DensityTune retunes the sparsifier's target condition number at each
+	// rebuild so density tracks IterTarget: iterating hot makes the next
+	// basis denser, running comfortably under target makes it sparser.
+	DensityTune bool
+	// TargetCondMin and TargetCondMax clamp the tuned target condition number
+	// (defaults 10 and 1000).
+	TargetCondMin, TargetCondMax float64
+	// RetainAfterSwap trims retained snapshot generations to the newest N
+	// right after a swap publishes, releasing factorizations built on the
+	// superseded basis as soon as readers drain. Defaults to 1 when Enabled;
+	// set it to RetainSnapshots to keep the full retention window across
+	// swaps.
+	RetainAfterSwap int
+}
+
+func (m MaintenanceOptions) internal() service.MaintenanceOptions {
+	o := service.MaintenanceOptions{
+		Enabled:         m.Enabled,
+		Interval:        m.Interval,
+		IterTarget:      m.IterTarget,
+		MinSolves:       m.MinSolves,
+		CondThreshold:   m.CondThreshold,
+		CondEvery:       m.CondEvery,
+		CondIters:       m.CondIters,
+		CondSeed:        m.CondSeed,
+		ChurnFactor:     m.ChurnFactor,
+		CooldownTicks:   m.CooldownTicks,
+		DensityTune:     m.DensityTune,
+		TargetCondMin:   m.TargetCondMin,
+		TargetCondMax:   m.TargetCondMax,
+		RetainAfterSwap: m.RetainAfterSwap,
+	}
+	if m.Enabled && o.RetainAfterSwap == 0 {
+		o.RetainAfterSwap = 1
+	}
+	return o
 }
 
 // walOptions builds the store configuration, registering the WAL timing
@@ -123,6 +212,7 @@ func (o ServiceOptions) engineOptions(sopts SolveOptions) service.Options {
 		Retain:        o.RetainSnapshots,
 		Solver:        s,
 		Batch:         o.Batch.internal(),
+		Maintenance:   o.Maintenance.internal(),
 	}
 }
 
@@ -256,6 +346,22 @@ func (s *Service) Checkpoint() (uint64, error) {
 	gen, err := s.eng.Checkpoint()
 	if err != nil {
 		return gen, fmt.Errorf("ingrass: checkpoint: %w", err)
+	}
+	return gen, nil
+}
+
+// ForceResparsify rebuilds the setup basis (LRD embedding + sketch) from the
+// current sparsifier in the background and swaps it in as a new generation,
+// regardless of the maintenance controller's thresholds (or whether the
+// controller is enabled at all). The rebuild runs on the calling goroutine
+// against a copy-on-write snapshot, so concurrent reads and writes proceed
+// unstalled; only the O(delta) adoption briefly holds the write lock. It
+// returns the generation that published the swap. At most one rebuild runs
+// per service: concurrent calls fail with ErrRebuildInProgress.
+func (s *Service) ForceResparsify(ctx context.Context) (uint64, error) {
+	gen, err := s.eng.Resparsify(ctx)
+	if err != nil {
+		return gen, fmt.Errorf("ingrass: resparsify: %w", err)
 	}
 	return gen, nil
 }
@@ -514,6 +620,24 @@ type ServiceStats struct {
 	RequestsCoalesced uint64  `json:"requests_coalesced"`
 	AvgBlockFill      float64 `json:"avg_block_fill"`
 	BatchQueueDepth   int64   `json:"batch_queue_depth"`
+	// Closed-loop maintenance: trigger counts by reason, completed and failed
+	// background rebuilds, the generation the newest swap published, the
+	// controller state ("disabled", "idle", "rebuilding", "swapping",
+	// "cooldown"), the (auto-tuned) target condition number, the
+	// iteration-mean trend the loop steers by, the latest periodic kappa
+	// estimate, and snapshots evicted by the post-swap GC pressure policy.
+	MaintTriggersIterations uint64  `json:"maint_triggers_iterations"`
+	MaintTriggersCond       uint64  `json:"maint_triggers_cond"`
+	MaintTriggersChurn      uint64  `json:"maint_triggers_churn"`
+	MaintTriggersManual     uint64  `json:"maint_triggers_manual"`
+	MaintRebuilds           uint64  `json:"maint_rebuilds"`
+	MaintFailures           uint64  `json:"maint_failures"`
+	MaintLastGeneration     uint64  `json:"maint_last_generation"`
+	MaintState              string  `json:"maint_state"`
+	MaintTargetCond         float64 `json:"maint_target_cond"`
+	MaintIterTrend          float64 `json:"maint_iter_trend"`
+	MaintKappa              float64 `json:"maint_kappa"`
+	GenerationsEvicted      uint64  `json:"generations_evicted"`
 	// Sparsifier state for the current generation.
 	Nodes           int     `json:"nodes"`
 	GraphEdges      int     `json:"graph_edges"`
@@ -556,10 +680,24 @@ func (s *Service) Stats() ServiceStats {
 		RequestsCoalesced:     v.RequestsCoalesced,
 		AvgBlockFill:          v.AvgBlockFill,
 		BatchQueueDepth:       v.BatchQueueDepth,
-		Nodes:                 snap.G.NumNodes(),
-		GraphEdges:            snap.G.NumEdges(),
-		SparsifierEdges:       snap.H.NumEdges(),
-		Density:               graph.OffTreeDensity(snap.H.NumEdges(), snap.H.NumNodes(), snap.G.NumEdges()),
+
+		MaintTriggersIterations: v.MaintTriggersIterations,
+		MaintTriggersCond:       v.MaintTriggersCond,
+		MaintTriggersChurn:      v.MaintTriggersChurn,
+		MaintTriggersManual:     v.MaintTriggersManual,
+		MaintRebuilds:           v.MaintRebuilds,
+		MaintFailures:           v.MaintFailures,
+		MaintLastGeneration:     v.MaintLastGeneration,
+		MaintState:              v.MaintState,
+		MaintTargetCond:         v.MaintTargetCond,
+		MaintIterTrend:          v.MaintIterTrend,
+		MaintKappa:              v.MaintKappa,
+		GenerationsEvicted:      v.GenerationsEvicted,
+
+		Nodes:           snap.G.NumNodes(),
+		GraphEdges:      snap.G.NumEdges(),
+		SparsifierEdges: snap.H.NumEdges(),
+		Density:         graph.OffTreeDensity(snap.H.NumEdges(), snap.H.NumNodes(), snap.G.NumEdges()),
 	}
 }
 
