@@ -92,6 +92,9 @@ type BatchSolveResult struct {
 // snapshot at call time); per-column outcomes are reported independently.
 // ctx cancels the whole batch.
 func (s *Service) SolveBatch(ctx context.Context, bs [][]float64, opts SolveOptions) ([]BatchSolveResult, uint64, error) {
+	if err := s.readGate(); err != nil {
+		return nil, 0, err
+	}
 	snap := s.eng.Current()
 	n := snap.G.NumNodes()
 	if len(bs) == 0 {
@@ -157,6 +160,9 @@ type PairResult struct {
 // primitive) wants. Invalid pairs (endpoints out of range) fail
 // individually; u == v pairs report zero resistance without solving.
 func (s *Service) EffectiveResistanceBatch(ctx context.Context, pairs []Pair) ([]PairResult, uint64, error) {
+	if err := s.readGate(); err != nil {
+		return nil, 0, err
+	}
 	snap := s.eng.Current()
 	n := snap.G.NumNodes()
 	if len(pairs) == 0 {

@@ -40,6 +40,7 @@ func cmdLoadgen(args []string) {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	cfg := loadgenConfig{}
 	fs.StringVar(&cfg.URL, "url", "http://localhost:8080", "base URL of the serve instance")
+	fs.StringVar(&cfg.URLs, "urls", "", "comma-separated base URLs: reads round-robin across all, writes go to the first (point the first at a router or primary); overrides -url")
 	fs.DurationVar(&cfg.Duration, "duration", 10*time.Second, "workload length")
 	fs.Float64Var(&cfg.QPS, "qps", 100, "offered request rate (all clients combined)")
 	fs.IntVar(&cfg.Clients, "clients", 4, "independent arrival streams")
@@ -85,6 +86,7 @@ func cmdLoadgen(args []string) {
 // it (plus the seed), so tests drive the harness directly.
 type loadgenConfig struct {
 	URL         string
+	URLs        string // CSV; multi-endpoint mode (routed/replicated serving tiers)
 	Duration    time.Duration
 	QPS         float64
 	Clients     int
@@ -383,7 +385,22 @@ type classTracker struct {
 // testable core of cmdLoadgen: everything observable flows through the
 // returned report.
 func runLoadgen(cfg loadgenConfig) (*sloReport, error) {
-	base := strings.TrimRight(cfg.URL, "/")
+	// Multi-endpoint mode targets a replicated tier directly: reads
+	// round-robin across every listed endpoint, writes always go to the
+	// first (a router forwards them to the primary; a primary applies them).
+	bases := []string{strings.TrimRight(cfg.URL, "/")}
+	if cfg.URLs != "" {
+		bases = bases[:0]
+		for _, u := range strings.Split(cfg.URLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				bases = append(bases, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(bases) == 0 {
+			return nil, fmt.Errorf("loadgen: -urls names no endpoints")
+		}
+	}
+	base := bases[0]
 	client := &http.Client{Timeout: cfg.Timeout}
 
 	// Node count bounds the operand space; fetched from the live /stats.
@@ -437,11 +454,15 @@ func runLoadgen(cfg loadgenConfig) (*sloReport, error) {
 			shed.Inc() // in-flight cap reached: shed, do not queue
 			continue
 		}
+		target := bases[i%len(bases)]
+		if op.Class == opClassWrite {
+			target = base
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-slots }()
-			executeOp(client, base, cfg, op, n, tr)
+			executeOp(client, target, cfg, op, n, tr)
 		}()
 	}
 	wg.Wait()
@@ -450,7 +471,7 @@ func runLoadgen(cfg loadgenConfig) (*sloReport, error) {
 	rep := &sloReport{
 		Label:       cfg.Label,
 		When:        time.Now().UTC().Format(time.RFC3339),
-		URL:         base,
+		URL:         strings.Join(bases, ","),
 		Arrival:     cfg.Arrival,
 		QPS:         cfg.QPS,
 		Clients:     cfg.Clients,

@@ -22,6 +22,15 @@
 //	ingrass serve -in graph.txt -addr :8080 -density 0.1 \
 //	       [-data-dir d/ -fsync always -checkpoint-every 5m]
 //
+// Replicate a durable server: the primary ships its WAL (-repl), followers
+// mirror it bit-exactly and serve reads (-follow), and a router fans reads
+// across followers while forwarding writes to the primary:
+//
+//	ingrass serve -in graph.txt -data-dir d/ -repl -addr :8080
+//	ingrass serve -follow http://127.0.0.1:8080 -addr :8081
+//	ingrass route -addr :8090 -primary http://127.0.0.1:8080 \
+//	       -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//
 // Initialize a durable data directory without serving (setup runs once,
 // every later start recovers instead):
 //
@@ -63,6 +72,8 @@ func main() {
 		cmdSolve(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "route":
+		cmdRoute(os.Args[2:])
 	case "save":
 		cmdSave(os.Args[2:])
 	case "load":
@@ -88,6 +99,8 @@ commands:
   update     incrementally maintain a sparsifier over an edge stream
   solve      solve the Laplacian system L x = b with a sparsifier preconditioner
   serve      run the concurrent sparsifier service over HTTP
+             (-repl ships the WAL to followers; -follow joins a primary read-only)
+  route      fan reads across follower replicas, forward writes to the primary
   save       initialize a durable data directory from a graph (setup + checkpoint)
   load       recover a data directory; inspect, verify, or export the state
   info       print graph statistics

@@ -35,11 +35,15 @@ const (
 	epStats           = "stats"
 	epHealthz         = "healthz"
 	epMetrics         = "metrics"
+	epReplCheckpoint  = "repl_checkpoint"
+	epReplSegments    = "repl_segments"
+	epReplStatus      = "repl_status"
 )
 
 var endpointNames = []string{
 	epEdgesAdd, epEdgesDelete, epSolve, epSolveBatch, epSparsifier,
 	epResistance, epResistanceBatch, epResparsify, epStats, epHealthz, epMetrics,
+	epReplCheckpoint, epReplSegments, epReplStatus,
 }
 
 // Status-code classes (codeClasses order matches codeClass indices).
@@ -133,6 +137,16 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
 	r.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the underlying writer. Without this the recorder
+// hides the server's http.Flusher and the /repl/segments long-poll
+// buffers a full StreamWindow of frames instead of shipping each one
+// as it lands.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // wrap instruments one endpoint handler.

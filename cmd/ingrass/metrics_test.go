@@ -158,3 +158,27 @@ func TestCodeClassMapping(t *testing.T) {
 		}
 	}
 }
+
+// TestMiddlewareForwardsFlush: the status-recording middleware must not
+// hide the server's http.Flusher. GET /repl/segments streams framed
+// records through this wrapper, and a swallowed Flush buffers a full
+// StreamWindow of frames — 30s replication latency that the raw-mux
+// tests in internal/repl cannot observe.
+func TestMiddlewareForwardsFlush(t *testing.T) {
+	var _ http.Flusher = (*statusRecorder)(nil)
+
+	hm := newHTTPMetrics(obs.NewRegistry())
+	h := hm.wrap(epReplSegments, func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware hides http.Flusher from the handler")
+		}
+		io.WriteString(w, "frame")
+		f.Flush()
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/repl/segments?from=0", nil))
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying ResponseWriter")
+	}
+}

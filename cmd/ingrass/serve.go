@@ -26,6 +26,12 @@ import (
 // logged before it becomes visible, --checkpoint-every drives periodic
 // checkpoints while serving, and SIGINT/SIGTERM triggers a final checkpoint
 // before exit so the next start replays an empty WAL tail.
+//
+// With --repl a durable server additionally ships its WAL to followers over
+// GET /repl/checkpoint and /repl/segments. With --follow the server is a
+// read-only follower of that primary: it bootstraps from the primary's
+// checkpoint, replays the record tail through the recovery path, and serves
+// the read API at its applied generation (writes answer 403).
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	in := fs.String("in", "", "input graph file (required unless -data-dir holds state)")
@@ -50,10 +56,20 @@ func cmdServe(args []string) {
 	condThreshold := fs.Float64("cond-threshold", 0, "condition-number estimate that triggers a rebuild (0 = off)")
 	churnFactor := fs.Float64("churn-factor", 0, "rebuild once edges churned since setup reach this multiple of the sparsifier size (0 = off)")
 	densityTune := fs.Bool("density-tune", false, "auto-tune sparsifier density toward -iter-target at each rebuild")
+	replicate := fs.Bool("repl", false, "serve the replication endpoints (/repl/*); requires -data-dir")
+	follow := fs.String("follow", "", "run as a read-only follower of this primary base URL (e.g. http://127.0.0.1:8080)")
+	followerID := fs.String("follower-id", "", "stable follower identity for primary-side segment retention (default: the listen address)")
+	maxStaleness := fs.Duration("max-staleness", 0, "with -follow: refuse reads once out of contact with the primary this long (0 = serve the last applied generation indefinitely)")
 	_ = fs.Parse(args)
 
 	if _, err := solver.ParseFormat(*format); err != nil {
 		fatal(err)
+	}
+	if *follow != "" && *replicate {
+		fatal(fmt.Errorf("-follow and -repl are mutually exclusive: a follower does not ship a WAL"))
+	}
+	if *replicate && *dataDir == "" {
+		fatal(fmt.Errorf("-repl requires -data-dir: the write-ahead log is the replication log"))
 	}
 	opts := ingrass.ServiceOptions{
 		Options: ingrass.Options{
@@ -89,9 +105,34 @@ func cmdServe(args []string) {
 		opts.Fsync = policy
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	var svc *ingrass.Service
 	switch {
+	case *follow != "":
+		id := *followerID
+		if id == "" {
+			id = *addr
+		}
+		var err error
+		svc, err = ingrass.Follow(ctx, ingrass.FollowOptions{
+			Primary:         *follow,
+			ID:              id,
+			MaxStaleness:    *maxStaleness,
+			Solve:           opts.Solve,
+			Batch:           opts.Batch,
+			RetainSnapshots: opts.RetainSnapshots,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *dataDir != "" || *in != "" {
+			fmt.Fprintln(os.Stderr, "ingrass: -follow replicates the primary's state; ignoring -in/-data-dir")
+		}
+		fmt.Printf("following %s as %q: bootstrapped at generation %d (%v)\n",
+			*follow, id, svc.Generation(), time.Since(start).Round(time.Millisecond))
 	case *dataDir != "":
 		var err error
 		svc, err = ingrass.LoadService(opts)
@@ -127,15 +168,19 @@ func cmdServe(args []string) {
 	}
 	defer svc.Close()
 
-	st := svc.Stats()
-	fmt.Printf("serving: %d nodes, %d edges, sparsifier %d edges, generation %d\n",
-		st.Nodes, st.GraphEdges, st.SparsifierEdges, st.Generation)
+	if *replicate {
+		if _, err := svc.StartReplication(ingrass.ReplicationOptions{}); err != nil {
+			fatal(err)
+		}
+		fmt.Println("replication enabled: shipping WAL on /repl/checkpoint and /repl/segments")
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	st := svc.Stats()
+	fmt.Printf("serving: %d nodes, %d edges, sparsifier %d edges, generation %d (role %s)\n",
+		st.Nodes, st.GraphEdges, st.SparsifierEdges, st.Generation, svc.Role())
 
 	// Periodic checkpoints bound the WAL tail a restart must replay.
-	if *dataDir != "" && *ckptEvery > 0 {
+	if *dataDir != "" && *follow == "" && *ckptEvery > 0 {
 		go func() {
 			ticker := time.NewTicker(*ckptEvery)
 			defer ticker.Stop()
@@ -175,7 +220,7 @@ func cmdServe(args []string) {
 		_ = svc.Metrics().WriteText(os.Stdout,
 			"ingrass_batch_", "ingrass_http_requests_total",
 			"ingrass_solves_total", "ingrass_solve_failures_total")
-		if *dataDir != "" {
+		if *dataDir != "" && *follow == "" {
 			if gen, err := svc.Checkpoint(); err != nil {
 				fmt.Fprintf(os.Stderr, "ingrass: final checkpoint: %v\n", err)
 			} else {
@@ -315,10 +360,14 @@ const statusClientClosedRequest = 499
 
 // solveStatus maps solver errors to HTTP statuses: exhausted iteration
 // budgets are 422 (the request was understood but the tolerance is
-// unreachable within budget), deadline expiry is 408, and a client
-// disconnect is 499. Anything else is a 422 solver-side failure.
+// unreachable within budget), deadline expiry is 408, a client disconnect
+// is 499, and a follower past its staleness bound is 503 (retryable on
+// another replica — the router does exactly that). Anything else is a 422
+// solver-side failure.
 func solveStatus(err error) int {
 	switch {
+	case errors.Is(err, ingrass.ErrReplicaStale):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ingrass.ErrCancelled):
 		if errors.Is(err, context.DeadlineExceeded) {
 			return http.StatusRequestTimeout
@@ -377,6 +426,8 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 	// rejection: the write is applied and visible (retrying would apply it
 	// twice), it just isn't crash-safe until the next checkpoint — so the
 	// valid result goes out with a warning instead of an error status.
+	// Writes against a follower are 403: the client should address the
+	// primary (or a router, which forwards writes there).
 	writeResult := func(w http.ResponseWriter, res ingrass.WriteResult, err error) {
 		switch {
 		case err == nil:
@@ -386,6 +437,8 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 				ingrass.WriteResult
 				Warning string `json:"warning"`
 			}{res, err.Error()})
+		case errors.Is(err, ingrass.ErrReadOnlyReplica):
+			writeError(w, http.StatusForbidden, err)
 		default:
 			writeError(w, http.StatusUnprocessableEntity, err)
 		}
@@ -577,8 +630,11 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 		gen, err := svc.ForceResparsify(r.Context())
 		if err != nil {
 			status := http.StatusUnprocessableEntity
-			if errors.Is(err, ingrass.ErrRebuildInProgress) {
+			switch {
+			case errors.Is(err, ingrass.ErrRebuildInProgress):
 				status = http.StatusConflict
+			case errors.Is(err, ingrass.ErrReadOnlyReplica):
+				status = http.StatusForbidden
 			}
 			writeError(w, status, err)
 			return
@@ -595,9 +651,27 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 
 	mux.HandleFunc("GET /metrics", hm.wrap(epMetrics, metricsHandler(svc.Metrics())))
 
+	// Liveness plus routing hints: role says how this process participates
+	// in replication, ready is false on a follower until its first full
+	// catch-up with the primary. The status stays 200 while not ready —
+	// routers read the body and keep cold followers out of rotation without
+	// mistaking them for dead.
 	mux.HandleFunc("GET /healthz", hm.wrap(epHealthz, func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"role":   svc.Role(),
+			"ready":  svc.Ready(),
+		})
 	}))
+
+	// A replication primary additionally ships checkpoints and the WAL
+	// record tail; followers and their fetch loops are the only intended
+	// clients.
+	if rh := svc.Replication(); rh != nil {
+		mux.HandleFunc("GET /repl/checkpoint", hm.wrap(epReplCheckpoint, rh.Checkpoint))
+		mux.HandleFunc("GET /repl/segments", hm.wrap(epReplSegments, rh.Segments))
+		mux.HandleFunc("GET /repl/status", hm.wrap(epReplStatus, rh.Status))
+	}
 
 	return mux
 }

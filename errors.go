@@ -3,6 +3,7 @@ package ingrass
 import (
 	"errors"
 
+	"ingrass/internal/repl"
 	"ingrass/internal/service"
 	"ingrass/internal/solver"
 	"ingrass/internal/wal"
@@ -50,4 +51,17 @@ var (
 	// re-sparsification (manual or controller-triggered) is already running;
 	// at most one basis rebuild is in flight per service.
 	ErrRebuildInProgress = service.ErrRebuildInProgress
+)
+
+// Typed errors of the replication tier.
+var (
+	// ErrReadOnlyReplica reports a write (AddEdges, DeleteEdges,
+	// ForceResparsify) against a follower Service; writes go to the
+	// primary. Served over HTTP as 403.
+	ErrReadOnlyReplica = service.ErrReadOnly
+	// ErrReplicaStale reports a read against a follower that has been out
+	// of contact with its primary longer than FollowOptions.MaxStaleness.
+	// The condition is sticky while the partition lasts and heals
+	// automatically on reconnect. Served over HTTP as 503.
+	ErrReplicaStale = repl.ErrReplicaStale
 )

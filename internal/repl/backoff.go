@@ -1,0 +1,53 @@
+package repl
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff is the follower's reconnect pacing: capped exponential growth
+// with full jitter. Jitter matters more than the curve here — a primary
+// restart disconnects every follower at once, and without it they would
+// hammer the fresh process in lockstep.
+type backoff struct {
+	min, max time.Duration
+	cur      time.Duration
+	rng      *rand.Rand
+}
+
+// newBackoff builds a backoff stepping from min to max. A non-zero seed
+// makes the jitter deterministic for tests.
+func newBackoff(min, max time.Duration, seed int64) *backoff {
+	if min <= 0 {
+		min = 50 * time.Millisecond
+	}
+	if max < min {
+		max = 10 * time.Second
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &backoff{min: min, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay before the next attempt, doubling the envelope up
+// to the cap and drawing uniformly from [min, envelope].
+func (b *backoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.min
+	} else {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	span := int64(b.cur - b.min)
+	if span <= 0 {
+		return b.min
+	}
+	return b.min + time.Duration(b.rng.Int63n(span+1))
+}
+
+// Reset drops the envelope back to the starting delay after a successful
+// connection.
+func (b *backoff) Reset() { b.cur = 0 }

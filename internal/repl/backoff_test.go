@@ -1,0 +1,63 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffEnvelopeGrowsToCapWithJitterInBounds(t *testing.T) {
+	min, max := 10*time.Millisecond, 160*time.Millisecond
+	bo := newBackoff(min, max, 42)
+	envelope := min
+	for i := 0; i < 12; i++ {
+		d := bo.Next()
+		if d < min || d > envelope {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, min, envelope)
+		}
+		if envelope < max {
+			envelope *= 2
+			if envelope > max {
+				envelope = max
+			}
+		}
+	}
+	// After many attempts the envelope is pinned at the cap; no draw may
+	// exceed it.
+	for i := 0; i < 50; i++ {
+		if d := bo.Next(); d > max {
+			t.Fatalf("capped delay %v exceeds max %v", d, max)
+		}
+	}
+}
+
+func TestBackoffSeedIsDeterministic(t *testing.T) {
+	a := newBackoff(10*time.Millisecond, time.Second, 7)
+	b := newBackoff(10*time.Millisecond, time.Second, 7)
+	for i := 0; i < 10; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+	}
+}
+
+func TestBackoffResetRestartsTheEnvelope(t *testing.T) {
+	min := 10 * time.Millisecond
+	bo := newBackoff(min, time.Second, 3)
+	if d := bo.Next(); d != min {
+		t.Fatalf("first delay %v, want exactly min %v", d, min)
+	}
+	bo.Next()
+	bo.Next()
+	bo.Reset()
+	if d := bo.Next(); d != min {
+		t.Fatalf("post-reset delay %v, want exactly min %v", d, min)
+	}
+}
+
+func TestBackoffDefaultsSanitizeBadInputs(t *testing.T) {
+	bo := newBackoff(0, -1, 0) // zero min, max < min, wall-clock seed
+	d := bo.Next()
+	if d <= 0 || d > 10*time.Second {
+		t.Fatalf("sanitized backoff produced %v", d)
+	}
+}

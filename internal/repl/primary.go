@@ -1,0 +1,357 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ingrass/internal/wal"
+)
+
+// PrimaryOptions configures the primary-side shipper.
+type PrimaryOptions struct {
+	// Heartbeat is the interval between 'B' frames on an idle stream (and
+	// the follower's liveness signal). Default 2s.
+	Heartbeat time.Duration
+	// StreamWindow bounds one /repl/segments response; the follower
+	// reconnects (resuming from its applied generation) when it elapses,
+	// which doubles as the acknowledgement path for retention. Default 30s.
+	StreamWindow time.Duration
+	// RetainCapBytes bounds the checkpoint-covered segment bytes a single
+	// follower's retention ref may hold against pruning. Past it the
+	// follower is evicted — a dead follower must not wedge GC forever; a
+	// live one re-bootstraps from the checkpoint. <=0 means 256 MiB;
+	// negative is not unlimited, it is the default.
+	RetainCapBytes int64
+	// FollowerTTL expires followers that stopped fetching. Default 60s.
+	FollowerTTL time.Duration
+}
+
+func (o PrimaryOptions) withDefaults() PrimaryOptions {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 2 * time.Second
+	}
+	if o.StreamWindow <= 0 {
+		o.StreamWindow = 30 * time.Second
+	}
+	if o.RetainCapBytes <= 0 {
+		o.RetainCapBytes = 256 << 20
+	}
+	if o.FollowerTTL <= 0 {
+		o.FollowerTTL = 60 * time.Second
+	}
+	return o
+}
+
+// followerRef is the primary's bookkeeping for one registered follower.
+type followerRef struct {
+	ref      *wal.RetainRef
+	ackGen   uint64
+	lastSeen time.Time
+}
+
+// Primary ships a Store's checkpoints and record stream to followers. It
+// does not own the store; close order is Primary first, store after.
+type Primary struct {
+	store *wal.Store
+	opts  PrimaryOptions
+
+	mu        sync.Mutex
+	followers map[string]*followerRef
+	evictions atomic.Uint64
+	streams   atomic.Int64 // currently-open segment streams
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPrimary builds a shipper over store and starts the follower-expiry
+// janitor. Stop it with Close.
+func NewPrimary(store *wal.Store, opts PrimaryOptions) *Primary {
+	p := &Primary{
+		store:     store,
+		opts:      opts.withDefaults(),
+		followers: make(map[string]*followerRef),
+		quit:      make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.janitor()
+	return p
+}
+
+// Close stops the janitor and releases every follower's retention ref.
+func (p *Primary) Close() {
+	select {
+	case <-p.quit:
+		return
+	default:
+	}
+	close(p.quit)
+	p.wg.Wait()
+	p.mu.Lock()
+	for id, f := range p.followers {
+		f.ref.Release()
+		delete(p.followers, id)
+	}
+	p.mu.Unlock()
+}
+
+// janitor expires followers that stopped fetching, so their retention refs
+// do not pin the log forever.
+func (p *Primary) janitor() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.opts.FollowerTTL / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			cutoff := time.Now().Add(-p.opts.FollowerTTL)
+			p.mu.Lock()
+			for id, f := range p.followers {
+				if f.lastSeen.Before(cutoff) {
+					f.ref.Release()
+					delete(p.followers, id)
+					p.evictions.Add(1)
+				}
+			}
+			p.mu.Unlock()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// touch registers or refreshes follower id at acknowledged generation ack,
+// then enforces the retention cap: a follower whose ref pins more
+// checkpoint-covered bytes than allowed is evicted and will re-bootstrap.
+func (p *Primary) touch(id string, ack uint64) {
+	if id == "" {
+		return
+	}
+	p.mu.Lock()
+	f := p.followers[id]
+	if f == nil {
+		f = &followerRef{ref: p.store.Retain(ack)}
+		p.followers[id] = f
+	}
+	if ack > f.ackGen {
+		f.ackGen = ack
+	}
+	f.ref.Update(ack)
+	f.lastSeen = time.Now()
+	held := p.store.CoverableBytes(f.ref.Gen())
+	if held > p.opts.RetainCapBytes {
+		f.ref.Release()
+		delete(p.followers, id)
+		p.evictions.Add(1)
+	}
+	p.mu.Unlock()
+}
+
+// HandleCheckpoint serves GET /repl/checkpoint: the newest checkpoint file
+// verbatim, with its generation and the log's last generation in headers.
+func (p *Primary) HandleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	data, gen, err := p.store.CheckpointBytes()
+	if err != nil {
+		if errors.Is(err, wal.ErrNoCheckpoint) {
+			writeJSONError(w, http.StatusNotFound, "no checkpoint yet")
+			return
+		}
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set(HeaderCheckpointGen, strconv.FormatUint(gen, 10))
+	w.Header().Set(HeaderLastGen, strconv.FormatUint(p.store.LastGen(), 10))
+	w.Write(data)
+}
+
+// redirectBody is the 409 response telling a follower its position was
+// pruned and it must re-bootstrap from the checkpoint.
+type redirectBody struct {
+	Error         string `json:"error"`
+	CheckpointGen uint64 `json:"checkpoint_gen"`
+}
+
+// HandleSegments serves GET /repl/segments?from=<gen>[&follower=<id>]: a
+// framed stream of every record with generation > from, then a long-polled
+// live tail with heartbeats, for at most StreamWindow. A from below the
+// pruning horizon gets 409 + checkpoint-redirect. The follower parameter
+// registers a retention ref; the from value of each fetch doubles as the
+// follower's acknowledgement.
+func (p *Primary) HandleSegments(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad or missing from parameter")
+		return
+	}
+	fid := q.Get("follower")
+	if from < p.store.PrunedGen() {
+		ckGen, _ := p.store.CheckpointGen()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(redirectBody{Error: "checkpoint_redirect", CheckpointGen: ckGen})
+		return
+	}
+	p.touch(fid, from)
+	p.streams.Add(1)
+	defer p.streams.Add(-1)
+
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+
+	writeHeartbeat := func() error {
+		ckGen, _ := p.store.CheckpointGen()
+		hb := heartbeat{lastGen: p.store.LastGen(), ckGen: ckGen}
+		if err := writeStreamFrame(w, frameHeartbeat, encodeHeartbeat(hb)); err != nil {
+			return err
+		}
+		flush()
+		return nil
+	}
+	// Lead with a heartbeat so the follower learns the primary's position
+	// (and can compute lag) before the first record arrives.
+	if writeHeartbeat() != nil {
+		return
+	}
+
+	window := time.NewTimer(p.opts.StreamWindow)
+	defer window.Stop()
+	hbTicker := time.NewTicker(p.opts.Heartbeat)
+	defer hbTicker.Stop()
+	ctx := r.Context()
+	cur := from
+	for {
+		// Grab the append signal BEFORE draining, so a record landing
+		// between the drain and the wait still wakes us.
+		sig := p.store.AppendSignal()
+		last, n, err := p.store.IterateFrom(cur, func(gen uint64, payload []byte) error {
+			return writeStreamFrame(w, frameRecord, payload)
+		})
+		cur = last
+		if n > 0 {
+			flush()
+			p.touch(fid, cur)
+		}
+		if err != nil {
+			// ErrPruned mid-stream (a checkpoint overtook the reader) or a
+			// write failure (follower gone): either way, end the stream;
+			// the follower's next fetch sorts it out (409 or reconnect).
+			return
+		}
+		select {
+		case <-sig:
+		case <-hbTicker.C:
+			if writeHeartbeat() != nil {
+				return
+			}
+		case <-window.C:
+			return
+		case <-ctx.Done():
+			return
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// followerStatus is one follower's entry in GET /repl/status.
+type followerStatus struct {
+	ID           string `json:"id"`
+	AckGen       uint64 `json:"ack_generation"`
+	LastSeenMS   int64  `json:"last_seen_ms"`
+	HeldBytes    int64  `json:"held_bytes"`
+	LagBehindLog uint64 `json:"lag_generations"`
+}
+
+// StatusView is the JSON body of GET /repl/status.
+type StatusView struct {
+	LastGen       uint64           `json:"last_generation"`
+	CheckpointGen uint64           `json:"checkpoint_generation"`
+	PrunedGen     uint64           `json:"pruned_generation"`
+	OpenStreams   int64            `json:"open_streams"`
+	Evictions     uint64           `json:"follower_evictions"`
+	Followers     []followerStatus `json:"followers"`
+}
+
+// Status snapshots the primary-side replication state.
+func (p *Primary) Status() StatusView {
+	lastGen := p.store.LastGen()
+	ckGen, _ := p.store.CheckpointGen()
+	sv := StatusView{
+		LastGen:       lastGen,
+		CheckpointGen: ckGen,
+		PrunedGen:     p.store.PrunedGen(),
+		OpenStreams:   p.streams.Load(),
+		Evictions:     p.evictions.Load(),
+	}
+	p.mu.Lock()
+	for id, f := range p.followers {
+		var lag uint64
+		if lastGen > f.ackGen {
+			lag = lastGen - f.ackGen
+		}
+		sv.Followers = append(sv.Followers, followerStatus{
+			ID:           id,
+			AckGen:       f.ackGen,
+			LastSeenMS:   time.Since(f.lastSeen).Milliseconds(),
+			HeldBytes:    p.store.CoverableBytes(f.ref.Gen()),
+			LagBehindLog: lag,
+		})
+	}
+	p.mu.Unlock()
+	return sv
+}
+
+// Followers returns the number of registered followers.
+func (p *Primary) Followers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.followers)
+}
+
+// Evictions returns the cumulative follower evictions (TTL + retention cap).
+func (p *Primary) Evictions() uint64 { return p.evictions.Load() }
+
+// RetainedBytes returns the checkpoint-covered bytes currently pinned by
+// the slowest follower (0 with no followers).
+func (p *Primary) RetainedBytes() int64 {
+	p.mu.Lock()
+	var floor uint64
+	found := false
+	for _, f := range p.followers {
+		g := f.ref.Gen()
+		if !found || g < floor {
+			floor, found = g, true
+		}
+	}
+	p.mu.Unlock()
+	if !found {
+		return 0
+	}
+	return p.store.CoverableBytes(floor)
+}
+
+// HandleStatus serves GET /repl/status.
+func (p *Primary) HandleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(p.Status())
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

@@ -1,0 +1,148 @@
+// Package repl is the replication tier: it turns the write-ahead log
+// (internal/wal) from a local crash-recovery device into a shipping log so
+// read capacity scales with process count.
+//
+// Three roles:
+//
+//   - Primary (primary.go) exposes the WAL over HTTP: GET /repl/checkpoint
+//     serves the newest checkpoint file verbatim, GET /repl/segments?from=G
+//     streams every record after generation G and then long-polls the live
+//     tail, interleaving heartbeats that carry the primary's last and
+//     checkpoint generations. Registered followers hold retention refs
+//     against pruning, bounded by a retention cap so a dead follower cannot
+//     wedge GC forever — past the cap it is evicted and must re-bootstrap
+//     from a checkpoint.
+//
+//   - Follower (follower.go) bootstraps from checkpoint ⊕ tail, replays
+//     records through the engine's bit-exact recovery path
+//     (service.ApplyRecord), serves read-only traffic at its applied
+//     generation, and reconnects with capped exponential backoff + jitter.
+//     Every frame is CRC-verified and a generation gap is refused — a
+//     damaged or missed record is re-fetched, never applied.
+//
+//   - Router (router.go) fans reads across healthy ready followers (active
+//     health checks + passive error ejection, one retry on a different
+//     backend) and forwards writes to the primary.
+//
+// The wire stream is self-framed so it survives any chunking the HTTP
+// transport applies:
+//
+//	marker  (1 byte: 'R' record, 'B' heartbeat)
+//	len     uint32 LE, payload length
+//	crc     uint32 LE, IEEE CRC-32 of the payload
+//	payload
+//
+// A record payload is the raw WAL record payload (wal.DecodeRecord parses
+// it); a heartbeat payload is lastGen + checkpointGen, both uint64 LE.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// HTTP endpoint paths the primary serves and the follower consumes.
+const (
+	PathCheckpoint = "/repl/checkpoint"
+	PathSegments   = "/repl/segments"
+	PathStatus     = "/repl/status"
+)
+
+// Response headers on checkpoint fetches.
+const (
+	HeaderCheckpointGen = "X-Ingrass-Checkpoint-Gen"
+	HeaderLastGen       = "X-Ingrass-Last-Gen"
+)
+
+// ErrReplicaStale reports a follower past its staleness bound: the primary
+// has been unreachable longer than MaxStaleness, so reads at the stale
+// generation are refused (503) until contact resumes.
+var ErrReplicaStale = errors.New("repl: replica stale; primary unreachable past the staleness bound")
+
+// Stream frame markers.
+const (
+	frameRecord    = byte('R')
+	frameHeartbeat = byte('B')
+)
+
+// maxFrameBytes mirrors the WAL's payload bound; a framed length beyond it
+// is stream damage, not an allocation request.
+const maxFrameBytes = 1 << 30
+
+var crcTable = crc32.IEEETable
+
+// errBadFrame marks a stream read that did not parse as a complete,
+// checksummed frame — a torn or corrupted transfer. The follower drops the
+// connection and re-fetches from its applied generation; nothing damaged is
+// ever applied.
+var errBadFrame = errors.New("repl: torn or corrupt stream frame")
+
+// writeStreamFrame frames payload under marker and writes it to w.
+func writeStreamFrame(w io.Writer, marker byte, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = marker
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readStreamFrame reads one frame. It returns io.EOF at a clean stream end
+// and errBadFrame for anything that fails the marker/length/CRC checks.
+func readStreamFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, errBadFrame
+	}
+	marker := hdr[0]
+	if marker != frameRecord && marker != frameHeartbeat {
+		return 0, nil, errBadFrame
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, errBadFrame
+	}
+	length := binary.LittleEndian.Uint32(hdr[1:5])
+	if length > maxFrameBytes {
+		return 0, nil, errBadFrame
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, errBadFrame
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[5:9]) {
+		return 0, nil, errBadFrame
+	}
+	return marker, payload, nil
+}
+
+// heartbeat is the payload of a 'B' frame.
+type heartbeat struct {
+	lastGen uint64 // highest generation the primary has logged
+	ckGen   uint64 // the primary's newest checkpoint generation
+}
+
+func encodeHeartbeat(hb heartbeat) []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:8], hb.lastGen)
+	binary.LittleEndian.PutUint64(b[8:16], hb.ckGen)
+	return b[:]
+}
+
+func decodeHeartbeat(payload []byte) (heartbeat, error) {
+	if len(payload) != 16 {
+		return heartbeat{}, fmt.Errorf("repl: heartbeat payload %d bytes, want 16", len(payload))
+	}
+	return heartbeat{
+		lastGen: binary.LittleEndian.Uint64(payload[0:8]),
+		ckGen:   binary.LittleEndian.Uint64(payload[8:16]),
+	}, nil
+}

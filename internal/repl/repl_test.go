@@ -1,0 +1,621 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ingrass/internal/core"
+	"ingrass/internal/graph"
+	"ingrass/internal/grass"
+	"ingrass/internal/krylov"
+	"ingrass/internal/lrd"
+	"ingrass/internal/service"
+	"ingrass/internal/wal"
+)
+
+// The fault-injection tier for the replicated serving path: every test here
+// runs real HTTP between a real primary shipper and a real follower, with
+// faults (torn frames, crashes, partitions, pruning) injected at the layer
+// where they occur in production. Grids are kept small (36 nodes) so the
+// whole tier stays fast under -race.
+
+func grid(r, c int) *graph.Graph {
+	g := graph.New(r*c, 2*r*c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+		}
+	}
+	return g
+}
+
+// newPrimaryEngine builds a durable engine over a fresh store in dir, with
+// an initial generation-0 checkpoint. MaxBatch 1 makes every Add/Delete one
+// WAL record, so generations are predictable.
+func newPrimaryEngine(t testing.TB, dir string, wopts wal.Options) (*service.Engine, *wal.Store) {
+	t.Helper()
+	g := grid(6, 6)
+	init, err := grass.InitialSparsifier(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := core.NewSparsifier(g, init.H, core.Config{
+		TargetCond: 50,
+		LRD:        lrd.Config{Krylov: krylov.Config{Seed: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := wal.Open(dir, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteCheckpoint(wal.Checkpoint{Gen: 0, State: sp.PersistentState()}); err != nil {
+		t.Fatal(err)
+	}
+	e := service.New(sp, service.Options{Store: store, MaxBatch: 1})
+	t.Cleanup(func() {
+		e.Close()
+		store.Close()
+	})
+	return e, store
+}
+
+// primaryMux mounts a Primary's handlers the way cmd/ingrass does.
+func primaryMux(p *Primary) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathCheckpoint, p.HandleCheckpoint)
+	mux.HandleFunc(PathSegments, p.HandleSegments)
+	mux.HandleFunc(PathStatus, p.HandleStatus)
+	return mux
+}
+
+// fastPrimaryOptions keeps streams and heartbeats snappy for tests.
+func fastPrimaryOptions() PrimaryOptions {
+	return PrimaryOptions{Heartbeat: 25 * time.Millisecond, StreamWindow: 1 * time.Second}
+}
+
+// addGen issues one write (one record, one generation). Pairs are unique
+// per k so no delete/re-add aliasing rules apply.
+func addGen(t testing.TB, e *service.Engine, k int) {
+	t.Helper()
+	n := 36
+	u := k % n
+	v := (u + 1 + (k/n)%(n-1)) % n
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := e.Add(ctx, []graph.Edge{{U: u, V: v, W: 0.5 + float64(k%7)*0.25}}); err != nil {
+		t.Fatalf("add %d: %v", k, err)
+	}
+}
+
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// sameBinaryExport asserts two graphs serialize to identical bytes through
+// the binary codec — the bit-identity acceptance property.
+func sameBinaryExport(t *testing.T, name string, a, b *graph.Graph) {
+	t.Helper()
+	var ab, bb bytes.Buffer
+	if err := graph.WriteBinary(&ab, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatalf("%s: binary exports differ (%d vs %d bytes)", name, ab.Len(), bb.Len())
+	}
+}
+
+// assertConverged waits until the follower has applied the primary's last
+// generation, then proves bit-identity of both graphs at that generation.
+func assertConverged(t *testing.T, e *service.Engine, store *wal.Store, f *Follower) {
+	t.Helper()
+	waitFor(t, 15*time.Second, "follower convergence", func() bool {
+		return f.Applied() == store.LastGen()
+	})
+	ps, rs := e.Current(), f.Engine().Current()
+	if ps.Gen != rs.Gen {
+		t.Fatalf("generations diverged: primary %d, follower %d", ps.Gen, rs.Gen)
+	}
+	sameBinaryExport(t, "G", ps.G, rs.G)
+	sameBinaryExport(t, "H", ps.H, rs.H)
+}
+
+func startTestFollower(t *testing.T, primaryURL, id string, maxStale time.Duration) *Follower {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	f, err := StartFollower(ctx, FollowerOptions{
+		Primary:      primaryURL,
+		ID:           id,
+		Engine:       service.Options{MaxBatch: 1},
+		MaxStaleness: maxStale,
+		BackoffMin:   10 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+		BackoffSeed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		f.Stop()
+		f.Engine().Close()
+	})
+	return f
+}
+
+// flakyProxy sits between follower and primary. It can partition (all
+// requests answer 503) and corrupt: flip one byte inside the first record
+// frame of a /repl/segments response, corruptBudget times.
+type flakyProxy struct {
+	target        string
+	partitioned   atomic.Bool
+	corruptBudget atomic.Int32
+	client        *http.Client
+}
+
+func newFlakyProxy(t *testing.T, target string) (*flakyProxy, *httptest.Server) {
+	t.Helper()
+	fp := &flakyProxy{target: target, client: &http.Client{}}
+	srv := httptest.NewServer(fp)
+	t.Cleanup(srv.Close)
+	return fp, srv
+}
+
+func (fp *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if fp.partitioned.Load() {
+		writeJSONError(w, http.StatusServiceUnavailable, "partitioned")
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, fp.target+r.URL.RequestURI(), nil)
+	if err != nil {
+		writeJSONError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	resp, err := fp.client.Do(req)
+	if err != nil {
+		writeJSONError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+
+	corrupt := false
+	if r.URL.Path == PathSegments && resp.StatusCode == http.StatusOK &&
+		fp.corruptBudget.Load() > 0 && fp.corruptBudget.Add(-1) >= 0 {
+		corrupt = true
+	}
+	// The stream leads with a 25-byte heartbeat frame (1 marker + 4 len +
+	// 4 crc + 16 payload); offset 31 sits in the CRC field of the first
+	// record frame, so the flip is always detected, never applied.
+	const flipAt = 31
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	offset := 0
+	for {
+		n, rerr := resp.Body.Read(buf)
+		// A partition severs in-flight streams too, not just new requests.
+		if fp.partitioned.Load() {
+			return
+		}
+		if n > 0 {
+			b := buf[:n]
+			if corrupt && flipAt >= offset && flipAt < offset+n {
+				b[flipAt-offset] ^= 0xFF
+				corrupt = false
+			}
+			offset += n
+			if _, werr := w.Write(b); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// TestFollowerConvergesBitExactly: bootstrap from checkpoint, stream the
+// live tail, end with zero lag and bit-identical binary exports.
+func TestFollowerConvergesBitExactly(t *testing.T) {
+	e, store := newPrimaryEngine(t, t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	p := NewPrimary(store, fastPrimaryOptions())
+	defer p.Close()
+	srv := httptest.NewServer(primaryMux(p))
+	defer srv.Close()
+
+	for k := 0; k < 8; k++ {
+		addGen(t, e, k)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := startTestFollower(t, srv.URL, "f1", 0)
+	if got := f.Applied(); got != 8 {
+		t.Fatalf("bootstrap applied %d, want 8", got)
+	}
+	// Live tail: records written after the follower attached.
+	for k := 8; k < 20; k++ {
+		addGen(t, e, k)
+	}
+	assertConverged(t, e, store, f)
+	if !f.Ready() {
+		t.Fatal("follower not ready after full catch-up")
+	}
+	if lag := f.LagGenerations(); lag != 0 {
+		t.Fatalf("lag %d after convergence", lag)
+	}
+	waitFor(t, 5*time.Second, "follower registration", func() bool { return p.Followers() == 1 })
+}
+
+// TestTornFrameMidStreamIsReFetchedNeverApplied: a byte flipped mid-stream
+// must be CRC-detected, the connection dropped, and the record re-fetched
+// clean — the follower still converges bit-exactly.
+func TestTornFrameMidStreamIsReFetchedNeverApplied(t *testing.T) {
+	e, store := newPrimaryEngine(t, t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	p := NewPrimary(store, fastPrimaryOptions())
+	defer p.Close()
+	srv := httptest.NewServer(primaryMux(p))
+	defer srv.Close()
+	fp, proxy := newFlakyProxy(t, srv.URL)
+
+	for k := 0; k < 10; k++ {
+		addGen(t, e, k)
+	}
+	// Corrupt the first record frame of the next two segment streams.
+	fp.corruptBudget.Store(2)
+	f := startTestFollower(t, proxy.URL, "f1", 0)
+	assertConverged(t, e, store, f)
+	if crc := f.Stats().CRCErrors; crc < 1 {
+		t.Fatalf("corruption went undetected: %d CRC errors", crc)
+	}
+	if fp.corruptBudget.Load() > 0 {
+		t.Fatal("proxy never injected the corruption")
+	}
+}
+
+// TestPrimaryCrashRestartUnderLiveFollower: the primary process dies and
+// comes back on the same address; no acked write is lost, the follower
+// serves reads throughout and converges on the recovered log.
+func TestPrimaryCrashRestartUnderLiveFollower(t *testing.T) {
+	dir := t.TempDir()
+	e, store := newPrimaryEngine(t, dir, wal.Options{Sync: wal.SyncNever})
+	p := NewPrimary(store, fastPrimaryOptions())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hsrv := &http.Server{Handler: primaryMux(p)}
+	go hsrv.Serve(ln)
+
+	for k := 0; k < 10; k++ {
+		addGen(t, e, k)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	f := startTestFollower(t, "http://"+addr, "f1", 0)
+	assertConverged(t, e, store, f)
+
+	// Crash: server torn down abruptly, engine and store closed. All ten
+	// writes were acknowledged, so all ten must survive.
+	hsrv.Close()
+	p.Close()
+	e.Close()
+	store.Close()
+
+	// The follower keeps serving reads at its applied generation.
+	genDuringOutage := f.Engine().Current().Gen
+	if genDuringOutage != 10 {
+		t.Fatalf("follower serving generation %d during outage, want 10", genDuringOutage)
+	}
+	if err := f.StaleErr(); err != nil {
+		t.Fatalf("MaxStaleness=0 follower went stale during outage: %v", err)
+	}
+
+	// Restart on the same address from the data directory alone.
+	store2, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := service.Recover(store2, service.Options{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		e2.Close()
+		store2.Close()
+	})
+	if got := e2.Current().Gen; got != 10 {
+		t.Fatalf("recovery lost acked writes: at generation %d, want 10", got)
+	}
+	p2 := NewPrimary(store2, fastPrimaryOptions())
+	defer p2.Close()
+	var ln2 net.Listener
+	waitFor(t, 5*time.Second, "address rebind", func() bool {
+		ln2, err = net.Listen("tcp", addr)
+		return err == nil
+	})
+	hsrv2 := &http.Server{Handler: primaryMux(p2)}
+	go hsrv2.Serve(ln2)
+	defer hsrv2.Close()
+
+	for k := 10; k < 16; k++ {
+		addGen(t, e2, k)
+	}
+	assertConverged(t, e2, store2, f)
+}
+
+// TestFollowerRebootstrapsAfterPrune: an (anonymous) follower partitioned
+// across a checkpoint that pruned its position must take the 409 redirect,
+// re-bootstrap from the checkpoint, and converge.
+func TestFollowerRebootstrapsAfterPrune(t *testing.T) {
+	// Tiny segments so checkpoints actually prune sealed records.
+	e, store := newPrimaryEngine(t, t.TempDir(), wal.Options{Sync: wal.SyncNever, SegmentBytes: 64})
+	p := NewPrimary(store, fastPrimaryOptions())
+	defer p.Close()
+	srv := httptest.NewServer(primaryMux(p))
+	defer srv.Close()
+	fp, proxy := newFlakyProxy(t, srv.URL)
+
+	for k := 0; k < 6; k++ {
+		addGen(t, e, k)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Anonymous follower: no retention ref, so the primary prunes past it
+	// freely (the dead-follower-cannot-wedge-GC guarantee, worst case).
+	f := startTestFollower(t, proxy.URL, "", 0)
+	assertConverged(t, e, store, f)
+
+	fp.partitioned.Store(true)
+	for k := 6; k < 14; k++ {
+		addGen(t, e, k)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if pg := store.PrunedGen(); pg <= f.Applied() {
+		t.Fatalf("prune horizon %d did not pass the follower at %d", pg, f.Applied())
+	}
+	fp.partitioned.Store(false)
+
+	assertConverged(t, e, store, f)
+	if b := f.Stats().Bootstraps; b < 2 {
+		t.Fatalf("follower converged without re-bootstrapping (bootstraps=%d)", b)
+	}
+}
+
+// TestPartitionThenHealConvergesLag: past MaxStaleness a partitioned
+// follower refuses reads (sticky); on heal it serves again and lag returns
+// to zero.
+func TestPartitionThenHealConvergesLag(t *testing.T) {
+	e, store := newPrimaryEngine(t, t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	p := NewPrimary(store, fastPrimaryOptions())
+	defer p.Close()
+	srv := httptest.NewServer(primaryMux(p))
+	defer srv.Close()
+	fp, proxy := newFlakyProxy(t, srv.URL)
+
+	for k := 0; k < 5; k++ {
+		addGen(t, e, k)
+	}
+	f := startTestFollower(t, proxy.URL, "f1", 150*time.Millisecond)
+	assertConverged(t, e, store, f)
+	if err := f.StaleErr(); err != nil {
+		t.Fatalf("fresh follower reports stale: %v", err)
+	}
+
+	fp.partitioned.Store(true)
+	for k := 5; k < 9; k++ {
+		addGen(t, e, k)
+	}
+	waitFor(t, 5*time.Second, "staleness trip", func() bool {
+		return errors.Is(f.StaleErr(), ErrReplicaStale)
+	})
+	// Sticky while partitioned; the applied generation is frozen.
+	frozen := f.Applied()
+	time.Sleep(100 * time.Millisecond)
+	if !errors.Is(f.StaleErr(), ErrReplicaStale) {
+		t.Fatal("staleness not sticky during partition")
+	}
+	if f.Applied() != frozen {
+		t.Fatal("partitioned follower advanced its generation")
+	}
+
+	fp.partitioned.Store(false)
+	waitFor(t, 10*time.Second, "staleness heal", func() bool { return f.StaleErr() == nil })
+	assertConverged(t, e, store, f)
+	if lag := f.LagGenerations(); lag != 0 {
+		t.Fatalf("lag %d after heal", lag)
+	}
+}
+
+// TestDivergenceGuardRefusesGap: a stream with a missing generation (and no
+// newer checkpoint to re-bootstrap through) must be refused, leaving the
+// follower serving its last applied generation rather than diverging.
+func TestDivergenceGuardRefusesGap(t *testing.T) {
+	e, store := newPrimaryEngine(t, t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	p := NewPrimary(store, fastPrimaryOptions())
+	defer p.Close()
+	for k := 0; k < 5; k++ {
+		addGen(t, e, k)
+	}
+	// Collect the real record payloads, then serve them with gen 3 missing
+	// through a lying primary (checkpoint still at generation 0).
+	var payloads [][]byte
+	if _, _, err := store.IterateFrom(0, func(gen uint64, payload []byte) error {
+		if gen != 3 {
+			payloads = append(payloads, append([]byte(nil), payload...))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathCheckpoint, p.HandleCheckpoint)
+	mux.HandleFunc(PathSegments, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		for _, pl := range payloads {
+			if err := writeStreamFrame(w, frameRecord, pl); err != nil {
+				return
+			}
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	f := startTestFollower(t, srv.URL, "f1", 0)
+	waitFor(t, 10*time.Second, "gap refusal", func() bool {
+		return f.Stats().GapRefusals >= 1
+	})
+	if got := f.Applied(); got != 2 {
+		t.Fatalf("follower at generation %d, want 2 (stopped before the gap)", got)
+	}
+	if b := f.Stats().Bootstraps; b != 1 {
+		t.Fatalf("follower re-bootstrapped through a stale checkpoint (bootstraps=%d)", b)
+	}
+}
+
+// TestPrimaryEvictsOverCapFollower: a lagging follower must not pin
+// unbounded log bytes — past RetainCapBytes it is evicted and the next
+// checkpoint prunes freely (it will re-bootstrap from the checkpoint).
+func TestPrimaryEvictsOverCapFollower(t *testing.T) {
+	e, store := newPrimaryEngine(t, t.TempDir(), wal.Options{Sync: wal.SyncNever, SegmentBytes: 64})
+	p := NewPrimary(store, PrimaryOptions{RetainCapBytes: 1, FollowerTTL: time.Hour})
+	defer p.Close()
+
+	// Register while nothing is checkpoint-covered: the laggard holds 0
+	// bytes and stays.
+	p.touch("laggard", 0)
+	if p.Followers() != 1 {
+		t.Fatal("touch did not register the follower")
+	}
+
+	for k := 0; k < 6; k++ {
+		addGen(t, e, k)
+	}
+	// The checkpoint covers the sealed segments; the laggard's ref at 0 now
+	// pins all of them, so pruning stops at the ref...
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if held := p.RetainedBytes(); held <= 1 {
+		t.Fatalf("laggard holds %d coverable bytes, want > cap", held)
+	}
+	// ...and its next fetch trips the cap.
+	p.touch("laggard", 0)
+	if p.Followers() != 0 || p.Evictions() != 1 {
+		t.Fatalf("over-cap follower not evicted (followers %d, evictions %d)",
+			p.Followers(), p.Evictions())
+	}
+	// With the laggard gone a checkpoint prunes freely again.
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if store.PrunedGen() == 0 {
+		t.Fatal("evicted follower still wedges pruning")
+	}
+}
+
+// TestPrimaryExpiresDeadFollower: a follower that stops fetching is TTL-
+// evicted so its retention ref cannot wedge GC forever.
+func TestPrimaryExpiresDeadFollower(t *testing.T) {
+	e, store := newPrimaryEngine(t, t.TempDir(), wal.Options{Sync: wal.SyncNever, SegmentBytes: 64})
+	p := NewPrimary(store, PrimaryOptions{FollowerTTL: 120 * time.Millisecond})
+	defer p.Close()
+
+	p.touch("dead", 0)
+	if p.Followers() != 1 {
+		t.Fatal("touch did not register the follower")
+	}
+	waitFor(t, 5*time.Second, "TTL eviction", func() bool { return p.Followers() == 0 })
+	if p.Evictions() < 1 {
+		t.Fatal("TTL eviction not counted")
+	}
+
+	for k := 0; k < 6; k++ {
+		addGen(t, e, k)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if store.PrunedGen() == 0 {
+		t.Fatal("dead follower wedged pruning")
+	}
+}
+
+// TestStreamFrameRoundTrip pins the wire framing: marker, length, CRC.
+func TestStreamFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeStreamFrame(&buf, frameRecord, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	hb := heartbeat{lastGen: 42, ckGen: 7}
+	if err := writeStreamFrame(&buf, frameHeartbeat, encodeHeartbeat(hb)); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	marker, payload, err := readStreamFrame(r)
+	if err != nil || marker != frameRecord || string(payload) != "payload-bytes" {
+		t.Fatalf("record frame: %c %q %v", marker, payload, err)
+	}
+	marker, payload, err = readStreamFrame(r)
+	if err != nil || marker != frameHeartbeat {
+		t.Fatalf("heartbeat frame: %c %v", marker, err)
+	}
+	got, err := decodeHeartbeat(payload)
+	if err != nil || got != hb {
+		t.Fatalf("heartbeat decode: %+v %v", got, err)
+	}
+	if _, _, err := readStreamFrame(r); err != io.EOF {
+		t.Fatalf("end of stream: %v", err)
+	}
+
+	// Any flipped byte must fail the read, not pass through.
+	raw := buf.Bytes()
+	for _, i := range []int{0, 3, 7, 11} {
+		damaged := append([]byte(nil), raw...)
+		damaged[i] ^= 0xFF
+		if _, _, err := readStreamFrame(bytes.NewReader(damaged)); err == nil {
+			t.Fatalf("flip at %d went undetected", i)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterOptions configures the read-fanout router.
+type RouterOptions struct {
+	// Primary is the write target (and the read fallback of last resort).
+	Primary string
+	// Replicas are the follower base URLs reads round-robin across.
+	Replicas []string
+	// HealthEvery is the active health-check interval. Default 500ms.
+	HealthEvery time.Duration
+	// EjectFor is how long a backend stays out of rotation after a passive
+	// failure (transport error, 502, 503). Default 2s.
+	EjectFor time.Duration
+	// MaxBodyBytes bounds a buffered request body (bodies are buffered so
+	// a read can be retried on a different replica). Default 8 MiB.
+	MaxBodyBytes int64
+	// Client overrides the forwarding HTTP client (tests).
+	Client *http.Client
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = 500 * time.Millisecond
+	}
+	if o.EjectFor <= 0 {
+		o.EjectFor = 2 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// backendState is the router's live view of one upstream.
+type backendState struct {
+	url          string
+	role         atomic.Value // string, as self-reported by /healthz
+	healthy      atomic.Bool
+	ready        atomic.Bool
+	ejectedUntil atomic.Int64 // UnixNano; passive ejection window
+	requests     atomic.Uint64
+	failures     atomic.Uint64
+}
+
+func (b *backendState) ejected() bool {
+	return time.Now().UnixNano() < b.ejectedUntil.Load()
+}
+
+func (b *backendState) available() bool {
+	return b.healthy.Load() && b.ready.Load() && !b.ejected()
+}
+
+// Router is a thin HTTP fan-out: writes (POST/DELETE /edges, POST
+// /resparsify) forward to the primary; every other request round-robins
+// across healthy, ready, non-ejected replicas with one retry on a
+// different backend, falling back to the primary when no replica
+// qualifies. Health is tracked actively (periodic /healthz polls that also
+// read the follower's ready flag, so a cold follower is never routed to)
+// and passively (transport errors and 502/503 eject the backend for
+// EjectFor).
+type Router struct {
+	opts     RouterOptions
+	primary  *backendState
+	replicas []*backendState
+	next     atomic.Uint64
+	retries  atomic.Uint64
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewRouter builds a router. Call Start to begin health checking, Stop to
+// end it.
+func NewRouter(opts RouterOptions) *Router {
+	rt := &Router{
+		opts:    opts.withDefaults(),
+		primary: &backendState{url: opts.Primary},
+		quit:    make(chan struct{}),
+	}
+	for _, u := range opts.Replicas {
+		rt.replicas = append(rt.replicas, &backendState{url: u})
+	}
+	return rt
+}
+
+// Start runs one synchronous health pass (so the first request already has
+// an honest view) and begins the periodic health loop.
+func (rt *Router) Start() {
+	rt.healthPass()
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		ticker := time.NewTicker(rt.opts.HealthEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				rt.healthPass()
+			case <-rt.quit:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the health loop.
+func (rt *Router) Stop() {
+	rt.once.Do(func() {
+		close(rt.quit)
+		rt.wg.Wait()
+	})
+}
+
+// healthzBody is the shape GET /healthz answers with.
+type healthzBody struct {
+	Status string `json:"status"`
+	Role   string `json:"role"`
+	Ready  bool   `json:"ready"`
+}
+
+func (rt *Router) healthPass() {
+	backends := append([]*backendState{rt.primary}, rt.replicas...)
+	var wg sync.WaitGroup
+	for _, b := range backends {
+		wg.Add(1)
+		go func(b *backendState) {
+			defer wg.Done()
+			client := &http.Client{Timeout: rt.opts.HealthEvery * 2, Transport: rt.opts.Client.Transport}
+			resp, err := client.Get(b.url + "/healthz")
+			if err != nil {
+				b.healthy.Store(false)
+				b.ready.Store(false)
+				return
+			}
+			defer resp.Body.Close()
+			var hb healthzBody
+			if resp.StatusCode != http.StatusOK ||
+				json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&hb) != nil ||
+				hb.Status != "ok" {
+				b.healthy.Store(false)
+				b.ready.Store(false)
+				return
+			}
+			b.role.Store(hb.Role)
+			b.healthy.Store(true)
+			b.ready.Store(hb.Ready)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// isWrite classifies mutating requests: everything else (solves,
+// resistance queries, exports, stats) is safe to serve from a replica.
+func isWrite(r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return false
+	}
+	switch r.URL.Path {
+	case "/edges", "/resparsify":
+		return true
+	}
+	return false
+}
+
+// pickReplica returns the next available replica after exclude, or nil.
+func (rt *Router) pickReplica(exclude *backendState) *backendState {
+	n := len(rt.replicas)
+	if n == 0 {
+		return nil
+	}
+	start := rt.next.Add(1)
+	for i := 0; i < n; i++ {
+		b := rt.replicas[(start+uint64(i))%uint64(n)]
+		if b == exclude || !b.available() {
+			continue
+		}
+		return b
+	}
+	return nil
+}
+
+func (rt *Router) eject(b *backendState) {
+	b.failures.Add(1)
+	b.ejectedUntil.Store(time.Now().Add(rt.opts.EjectFor).UnixNano())
+}
+
+// forward sends the request to backend b and returns the response. body may
+// be nil. A nil response with nil error never happens.
+func (rt *Router) forward(r *http.Request, b *backendState, body []byte) (*http.Response, error) {
+	b.requests.Add(1)
+	u := b.url + r.URL.RequestURI()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	return rt.opts.Client.Do(req)
+}
+
+// copyResponse relays resp to w.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	resp.Body.Close()
+}
+
+// retryableStatus marks upstream responses that justify trying another
+// backend: the backend itself is refusing (stale replica 503, dead proxy
+// hop 502), not the request failing on its merits.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" && r.Method == http.MethodGet {
+		rt.handleHealthz(w, r)
+		return
+	}
+
+	// Buffer the body so a failed read attempt can be replayed elsewhere.
+	var body []byte
+	if r.Body != nil && r.Body != http.NoBody {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, rt.opts.MaxBodyBytes+1))
+		r.Body.Close()
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "reading request body")
+			return
+		}
+		if int64(len(body)) > rt.opts.MaxBodyBytes {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, "request body exceeds router buffer")
+			return
+		}
+	}
+
+	if isWrite(r) {
+		// Writes go to the primary, once: retrying a non-idempotent write
+		// through a proxy risks double application.
+		resp, err := rt.forward(r, rt.primary, body)
+		if err != nil {
+			writeJSONError(w, http.StatusBadGateway, "primary unreachable: "+err.Error())
+			return
+		}
+		copyResponse(w, resp)
+		return
+	}
+
+	first := rt.pickReplica(nil)
+	if first == nil {
+		first = rt.primary
+	}
+	resp, err := rt.forward(r, first, body)
+	if err == nil && !retryableStatus(resp.StatusCode) {
+		copyResponse(w, resp)
+		return
+	}
+	if resp != nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+	if first != rt.primary {
+		rt.eject(first)
+	}
+	rt.retries.Add(1)
+
+	second := rt.pickReplica(first)
+	if second == nil && first != rt.primary {
+		second = rt.primary
+	}
+	if second == nil {
+		writeJSONError(w, http.StatusBadGateway, "no backend available")
+		return
+	}
+	resp2, err2 := rt.forward(r, second, body)
+	if err2 != nil {
+		if second != rt.primary {
+			rt.eject(second)
+		}
+		writeJSONError(w, http.StatusBadGateway, "all backends failed: "+err2.Error())
+		return
+	}
+	copyResponse(w, resp2)
+}
+
+// routerBackend is one upstream's entry in the router's /healthz body.
+type routerBackend struct {
+	URL      string `json:"url"`
+	Role     string `json:"role"`
+	Healthy  bool   `json:"healthy"`
+	Ready    bool   `json:"ready"`
+	Ejected  bool   `json:"ejected"`
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Status   string          `json:"status"`
+		Role     string          `json:"role"`
+		Ready    bool            `json:"ready"`
+		Retries  uint64          `json:"retries"`
+		Backends []routerBackend `json:"backends"`
+	}{Status: "ok", Role: "router", Ready: true, Retries: rt.retries.Load()}
+	for _, b := range append([]*backendState{rt.primary}, rt.replicas...) {
+		role, _ := b.role.Load().(string)
+		out.Backends = append(out.Backends, routerBackend{
+			URL:      b.url,
+			Role:     role,
+			Healthy:  b.healthy.Load(),
+			Ready:    b.ready.Load(),
+			Ejected:  b.ejected(),
+			Requests: b.requests.Load(),
+			Failures: b.failures.Load(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

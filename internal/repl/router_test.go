@@ -1,0 +1,259 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// routedBackend is a scriptable upstream: it answers /healthz from its
+// atomic flags and tags every other response with its name, counting
+// reads and writes separately.
+type routedBackend struct {
+	name   string
+	role   string
+	ready  atomic.Bool
+	fail   atomic.Bool // non-healthz requests answer 503
+	reads  atomic.Int64
+	writes atomic.Int64
+	srv    *httptest.Server
+}
+
+func newRoutedBackend(t *testing.T, name, role string, ready bool) *routedBackend {
+	t.Helper()
+	b := &routedBackend{name: name, role: role}
+	b.ready.Store(ready)
+	b.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			json.NewEncoder(w).Encode(healthzBody{Status: "ok", Role: b.role, Ready: b.ready.Load()})
+			return
+		}
+		if b.fail.Load() {
+			writeJSONError(w, http.StatusServiceUnavailable, "injected failure")
+			return
+		}
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
+			b.reads.Add(1)
+		} else {
+			io.Copy(io.Discard, r.Body)
+			b.writes.Add(1)
+		}
+		fmt.Fprintf(w, `{"served_by":%q}`, b.name)
+	}))
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+func newTestRouter(t *testing.T, primary *routedBackend, replicas ...*routedBackend) (*Router, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, r := range replicas {
+		urls[i] = r.srv.URL
+	}
+	rt := NewRouter(RouterOptions{
+		Primary:     primary.srv.URL,
+		Replicas:    urls,
+		HealthEvery: 25 * time.Millisecond,
+		EjectFor:    200 * time.Millisecond,
+	})
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+	return rt, front
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func servedBy(t *testing.T, body string) string {
+	t.Helper()
+	var v struct {
+		ServedBy string `json:"served_by"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("unparseable routed body %q: %v", body, err)
+	}
+	return v.ServedBy
+}
+
+func TestRouterSplitsWritesFromReads(t *testing.T) {
+	primary := newRoutedBackend(t, "primary", "primary", true)
+	r1 := newRoutedBackend(t, "r1", "follower", true)
+	r2 := newRoutedBackend(t, "r2", "follower", true)
+	_, front := newTestRouter(t, primary, r1, r2)
+
+	// Writes land on the primary, regardless of healthy replicas.
+	for _, path := range []string{"/edges", "/resparsify"} {
+		resp, err := http.Post(front.URL+path, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body, _ := io.ReadAll(resp.Body); servedBy(t, string(body)) != "primary" {
+			t.Fatalf("write to %s served by %s", path, string(body))
+		}
+		resp.Body.Close()
+	}
+	req, _ := http.NewRequest(http.MethodDelete, front.URL+"/edges", strings.NewReader(`{}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if w := primary.writes.Load(); w != 3 {
+		t.Fatalf("primary saw %d writes, want 3", w)
+	}
+	if r1.writes.Load()+r2.writes.Load() != 0 {
+		t.Fatal("a write leaked to a replica")
+	}
+
+	// Reads fan across both replicas and never hit the primary.
+	for i := 0; i < 10; i++ {
+		if code, _ := get(t, front.URL+"/stats"); code != http.StatusOK {
+			t.Fatalf("read %d: status %d", i, code)
+		}
+	}
+	if primary.reads.Load() != 0 {
+		t.Fatalf("primary served %d reads with healthy replicas", primary.reads.Load())
+	}
+	if r1.reads.Load() == 0 || r2.reads.Load() == 0 {
+		t.Fatalf("reads not fanned: r1 %d, r2 %d", r1.reads.Load(), r2.reads.Load())
+	}
+}
+
+func TestRouterRetriesOnDifferentBackendAndEjects(t *testing.T) {
+	primary := newRoutedBackend(t, "primary", "primary", true)
+	bad := newRoutedBackend(t, "bad", "follower", true)
+	good := newRoutedBackend(t, "good", "follower", true)
+	bad.fail.Store(true)
+	rt, front := newTestRouter(t, primary, bad, good)
+
+	// Every read succeeds: a 503 from bad is retried on good.
+	for i := 0; i < 6; i++ {
+		code, body := get(t, front.URL+"/stats")
+		if code != http.StatusOK {
+			t.Fatalf("read %d: status %d (%s)", i, code, body)
+		}
+		if servedBy(t, body) != "good" {
+			t.Fatalf("read %d served by %s", i, body)
+		}
+	}
+	// After the first failure bad is ejected, so later reads stop touching
+	// it entirely until the window expires.
+	if rt.retries.Load() == 0 {
+		t.Fatal("no retry recorded")
+	}
+
+	// The ejection window expires and a recovered backend rejoins.
+	bad.fail.Store(false)
+	waitFor(t, 5*time.Second, "ejection expiry", func() bool {
+		get(t, front.URL+"/stats")
+		return bad.reads.Load() > 0
+	})
+}
+
+func TestRouterSkipsColdFollower(t *testing.T) {
+	primary := newRoutedBackend(t, "primary", "primary", true)
+	cold := newRoutedBackend(t, "cold", "follower", false) // ready:false
+	warm := newRoutedBackend(t, "warm", "follower", true)
+	_, front := newTestRouter(t, primary, cold, warm)
+
+	for i := 0; i < 8; i++ {
+		_, body := get(t, front.URL+"/stats")
+		if servedBy(t, body) != "warm" {
+			t.Fatalf("read %d served by %s", i, body)
+		}
+	}
+	if cold.reads.Load() != 0 {
+		t.Fatalf("cold follower served %d reads before first full replay", cold.reads.Load())
+	}
+
+	// The follower finishes its first replay; the next health pass routes
+	// to it.
+	cold.ready.Store(true)
+	waitFor(t, 5*time.Second, "warmed follower joins rotation", func() bool {
+		get(t, front.URL+"/stats")
+		return cold.reads.Load() > 0
+	})
+}
+
+func TestRouterFallsBackToPrimaryWithoutReplicas(t *testing.T) {
+	primary := newRoutedBackend(t, "primary", "primary", true)
+	down := newRoutedBackend(t, "down", "follower", true)
+	_, front := newTestRouter(t, primary, down)
+	down.srv.Close() // the only replica is unreachable
+
+	waitFor(t, 5*time.Second, "replica marked unhealthy", func() bool {
+		_, body := get(t, front.URL+"/stats")
+		return servedBy(t, body) == "primary"
+	})
+	if code, body := get(t, front.URL+"/stats"); code != http.StatusOK || servedBy(t, body) != "primary" {
+		t.Fatalf("read without replicas: %d %s", code, body)
+	}
+}
+
+func TestRouterNeverRetriesWrites(t *testing.T) {
+	primary := newRoutedBackend(t, "primary", "primary", true)
+	replica := newRoutedBackend(t, "r1", "follower", true)
+	primary.fail.Store(true)
+	_, front := newTestRouter(t, primary, replica)
+
+	// A failing write surfaces as-is; retrying through a proxy could apply
+	// a non-idempotent batch twice.
+	resp, err := http.Post(front.URL+"/edges", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("failing write surfaced as %d, want 503 passthrough", resp.StatusCode)
+	}
+	if replica.writes.Load() != 0 {
+		t.Fatal("write was retried on a replica")
+	}
+}
+
+func TestRouterHealthzReportsBackends(t *testing.T) {
+	primary := newRoutedBackend(t, "primary", "primary", true)
+	r1 := newRoutedBackend(t, "r1", "follower", true)
+	rt, front := newTestRouter(t, primary, r1)
+	_ = rt
+
+	code, body := get(t, front.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("router healthz: %d", code)
+	}
+	var hb struct {
+		Status   string          `json:"status"`
+		Role     string          `json:"role"`
+		Backends []routerBackend `json:"backends"`
+	}
+	if err := json.Unmarshal([]byte(body), &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Status != "ok" || hb.Role != "router" || len(hb.Backends) != 2 {
+		t.Fatalf("router healthz body: %s", body)
+	}
+	for _, b := range hb.Backends {
+		if !b.Healthy || !b.Ready {
+			t.Fatalf("backend %s reported unhealthy in %s", b.URL, body)
+		}
+	}
+	if hb.Backends[0].Role != "primary" || hb.Backends[1].Role != "follower" {
+		t.Fatalf("roles not propagated from upstream healthz: %s", body)
+	}
+}

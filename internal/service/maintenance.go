@@ -420,6 +420,9 @@ func (e *Engine) Resparsify(ctx context.Context) (uint64, error) {
 }
 
 func (e *Engine) resparsify(ctx context.Context, reason MaintReason) (uint64, error) {
+	if e.opts.ReadOnly {
+		return 0, ErrReadOnly
+	}
 	if e.closed.Load() {
 		return 0, ErrClosed
 	}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"ingrass/internal/graph"
+	"ingrass/internal/wal"
+)
+
+// replicaFromStore snapshots the primary's newest checkpoint into a fresh
+// replica engine, the way a bootstrapping follower does.
+func replicaFromStore(t *testing.T, store *wal.Store) *Engine {
+	t.Helper()
+	ck, err := store.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(ck, Options{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Close)
+	return rep
+}
+
+// catchUp streams every record above the replica's generation from the
+// primary's store into the replica.
+func catchUp(t *testing.T, store *wal.Store, rep *Engine) {
+	t.Helper()
+	from := rep.Current().Gen
+	if _, _, err := store.IterateFrom(from, func(_ uint64, payload []byte) error {
+		rec, err := wal.DecodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		return rep.ApplyRecord(rec)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaMirrorsPrimaryBitExactly is the replication acceptance
+// property: a replica bootstrapped from a checkpoint and caught up through
+// ApplyRecord holds bit-identical graph and sparsifier state to the primary
+// at the same generation — the records replay through the same path
+// recovery uses.
+func TestReplicaMirrorsPrimaryBitExactly(t *testing.T) {
+	e, store := newDurableEngine(t, 6, 6, Options{MaxBatch: 1}, t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	stream := makeStream(36, 30, 7)
+
+	// First half, then a checkpoint the replica bootstraps from.
+	for _, op := range stream[:15] {
+		applyOp(t, e, op)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep := replicaFromStore(t, store)
+	if got, want := rep.Current().Gen, e.Current().Gen; got != want {
+		t.Fatalf("bootstrap generation %d, primary %d", got, want)
+	}
+
+	// Second half lands only in the primary's WAL; the replica catches up
+	// record by record.
+	for _, op := range stream[15:] {
+		applyOp(t, e, op)
+	}
+	catchUp(t, store, rep)
+
+	ps, rs := e.Current(), rep.Current()
+	if ps.Gen != rs.Gen {
+		t.Fatalf("generation diverged: primary %d, replica %d", ps.Gen, rs.Gen)
+	}
+	sameGraphBits(t, "G", ps.G, rs.G)
+	sameGraphBits(t, "H", ps.H, rs.H)
+
+	// Reads work on the replica; writes do not.
+	if _, err := rep.Add(ctxT(t), []graph.Edge{{U: 0, V: 1, W: 1}}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica Add: %v, want ErrReadOnly", err)
+	}
+	if _, err := rep.Delete(ctxT(t), []graph.Edge{{U: 0, V: 1}}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica Delete: %v, want ErrReadOnly", err)
+	}
+}
+
+func TestApplyRecordGuards(t *testing.T) {
+	e, store := newDurableEngine(t, 4, 4, Options{MaxBatch: 1}, t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	for _, op := range makeStream(16, 5, 3) {
+		applyOp(t, e, op)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep := replicaFromStore(t, store)
+	gen := rep.Current().Gen
+
+	// A gap is refused and applies nothing.
+	gap := wal.BatchRecord{Gen: gen + 2, Adds: []graph.Edge{{U: 0, V: 1, W: 1}}}
+	if err := rep.ApplyRecord(gap); !errors.Is(err, ErrGenerationGap) {
+		t.Fatalf("gap record: %v, want ErrGenerationGap", err)
+	}
+	if rep.Current().Gen != gen {
+		t.Fatalf("gap refusal still moved the generation to %d", rep.Current().Gen)
+	}
+
+	// A duplicate (at or below current) is silently skipped.
+	dup := wal.BatchRecord{Gen: gen, Adds: []graph.Edge{{U: 0, V: 1, W: 99}}}
+	if err := rep.ApplyRecord(dup); err != nil {
+		t.Fatalf("duplicate record: %v", err)
+	}
+	if rep.Current().Gen != gen {
+		t.Fatalf("duplicate moved the generation to %d", rep.Current().Gen)
+	}
+
+	// ApplyRecord against a writable engine is refused outright.
+	if err := e.ApplyRecord(wal.BatchRecord{Gen: e.Current().Gen + 1}); err == nil {
+		t.Fatal("ApplyRecord on a writable engine succeeded")
+	}
+}
+
+func TestResetReplicaMonotonic(t *testing.T) {
+	e, store := newDurableEngine(t, 4, 4, Options{MaxBatch: 1}, t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	for _, op := range makeStream(16, 8, 5) {
+		applyOp(t, e, op)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep := replicaFromStore(t, store)
+	ck, err := store.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebasing onto a checkpoint at (or below) the current generation would
+	// let published generations retreat.
+	if err := rep.ResetReplica(ck); !errors.Is(err, ErrGenerationGap) {
+		t.Fatalf("ResetReplica onto same gen: %v, want ErrGenerationGap", err)
+	}
+
+	// Advance the primary past the replica and re-checkpoint: now the
+	// rebase is the legitimate re-bootstrap path and must land on the new
+	// generation with bit-identical state.
+	for _, op := range makeStream(16, 6, 9) {
+		applyOp(t, e, op)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := store.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ResetReplica(ck2); err != nil {
+		t.Fatal(err)
+	}
+	ps, rs := e.Current(), rep.Current()
+	if ps.Gen != rs.Gen {
+		t.Fatalf("re-bootstrap generation %d, primary %d", rs.Gen, ps.Gen)
+	}
+	sameGraphBits(t, "G", ps.G, rs.G)
+	sameGraphBits(t, "H", ps.H, rs.H)
+}

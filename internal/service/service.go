@@ -86,6 +86,11 @@ type Options struct {
 	// (maintenance.go). The zero value leaves the controller off; manual
 	// Resparsify calls still work.
 	Maintenance MaintenanceOptions
+	// ReadOnly builds a replica engine (see replica.go): no batcher
+	// goroutine, no maintenance loop, and every write path returns
+	// ErrReadOnly. State advances only through ApplyRecord, which replays
+	// primary WAL records through the bit-exact recovery code path.
+	ReadOnly bool
 }
 
 func (o Options) withDefaults() Options {
@@ -189,11 +194,13 @@ func New(sp *core.Sparsifier, opts Options) *Engine {
 	e.basisEdges.Store(uint64(sp.H.NumEdges()))
 	e.stats.maintTargetCond.Store(math.Float64bits(sp.Config().TargetCond))
 	e.stats.maintState.Store(int32(e.idleMaintState()))
-	e.wg.Add(1)
-	go e.run()
-	if e.opts.Maintenance.Enabled {
+	if !e.opts.ReadOnly {
 		e.wg.Add(1)
-		go e.maintLoop()
+		go e.run()
+		if e.opts.Maintenance.Enabled {
+			e.wg.Add(1)
+			go e.maintLoop()
+		}
 	}
 	return e
 }
@@ -284,6 +291,9 @@ func (e *Engine) CoreStats() core.Stats {
 }
 
 func (e *Engine) enqueue(kind opKind, edges []graph.Edge) (*Pending, error) {
+	if e.opts.ReadOnly {
+		return nil, ErrReadOnly
+	}
 	e.sendMu.RLock()
 	defer e.sendMu.RUnlock()
 	if e.closed.Load() {

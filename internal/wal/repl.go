@@ -1,0 +1,280 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Replication support: the primary-side shipper (internal/repl) reads the
+// log concurrently with live appends and checkpoint pruning, which the
+// original single-process recovery path never had to survive. Three
+// mechanisms make that safe:
+//
+//   - Retention refs (Retain) pin every record above a generation against
+//     checkpoint-time pruning. RestoreState takes one across its
+//     checkpoint-load → replay window too: the historical race was a
+//     checkpoint landing between LoadCheckpoint and Replay and deleting a
+//     segment the replay was about to read.
+//
+//   - prunedGen records the highest generation that pruning may have removed
+//     from the log. A reader asking for older records gets ErrPruned and
+//     must re-bootstrap from the checkpoint instead — the
+//     checkpoint-redirect contract the follower protocol is built on.
+//
+//   - IterateFrom reads outside the store lock (streams can outlive any
+//     reasonable critical section) but tolerates the two races that
+//     permits: a torn frame at the tail of the active segment is an append
+//     in progress (clean stop, not corruption), and a vanished active
+//     segment is the damaged-segment drop (clean stop; the next call
+//     redirects through prunedGen).
+
+// ErrPruned reports a read positioned below the pruning horizon: the
+// records were deleted under a covering checkpoint. Recover by loading the
+// checkpoint (CheckpointBytes) and resuming from its generation.
+var ErrPruned = errors.New("wal: requested records pruned; re-bootstrap from checkpoint")
+
+// RetainRef pins every record with generation > Gen against pruning while
+// held. Refs are advisory ownership tokens, not iterators: take one, read,
+// Update it forward as progress is acknowledged, Release when done.
+type RetainRef struct {
+	st  *Store
+	gen uint64
+}
+
+// Retain registers a retention ref at afterGen.
+func (st *Store) Retain(afterGen uint64) *RetainRef {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.retainLocked(afterGen)
+}
+
+func (st *Store) retainLocked(afterGen uint64) *RetainRef {
+	r := &RetainRef{st: st, gen: afterGen}
+	if st.retains == nil {
+		st.retains = make(map[*RetainRef]struct{})
+	}
+	st.retains[r] = struct{}{}
+	return r
+}
+
+// Gen returns the ref's current floor generation.
+func (r *RetainRef) Gen() uint64 {
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	return r.gen
+}
+
+// Update advances the floor (it never retreats: records once released to
+// pruning cannot be re-pinned).
+func (r *RetainRef) Update(gen uint64) {
+	r.st.mu.Lock()
+	if gen > r.gen {
+		r.gen = gen
+	}
+	r.st.mu.Unlock()
+}
+
+// Release drops the pin. Releasing twice is harmless.
+func (r *RetainRef) Release() {
+	r.st.mu.Lock()
+	delete(r.st.retains, r)
+	r.st.mu.Unlock()
+}
+
+// retainFloorLocked returns the lowest floor among live refs.
+func (st *Store) retainFloorLocked() (uint64, bool) {
+	var floor uint64
+	found := false
+	for ref := range st.retains {
+		if !found || ref.gen < floor {
+			floor, found = ref.gen, true
+		}
+	}
+	return floor, found
+}
+
+// PrunedGen returns the highest generation pruning may have removed from
+// the log. Records above it are guaranteed readable via IterateFrom.
+func (st *Store) PrunedGen() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.prunedGen
+}
+
+// CoverableBytes returns the total size of sealed segments that are covered
+// by the latest checkpoint (so prunable in principle) but sit above
+// afterGen — the bytes a retention ref at afterGen is holding against GC.
+// The primary's retention cap evicts a follower when this grows too large.
+func (st *Store) CoverableBytes(afterGen uint64) int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var total int64
+	for _, s := range st.sealed {
+		if s.maxGen <= st.ckGen && s.maxGen > afterGen {
+			total += s.bytes
+		}
+	}
+	return total
+}
+
+// AppendSignal returns a channel closed by the next successful Append —
+// the long-poll primitive behind tail streaming. Grab the channel BEFORE
+// checking for new records, or a racing append's wakeup is lost.
+func (st *Store) AppendSignal() <-chan struct{} {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.appendSig == nil {
+		st.appendSig = make(chan struct{})
+	}
+	return st.appendSig
+}
+
+func (st *Store) signalAppendLocked() {
+	if st.appendSig != nil {
+		close(st.appendSig)
+		st.appendSig = nil
+	}
+}
+
+// IterateFrom streams the payload of every record with Gen > afterGen, in
+// order, to fn, without decoding them (the shipper re-frames raw payloads
+// onto the wire). It returns the last generation delivered and the record
+// count. The walk runs outside the store lock under a retention ref; it
+// ends cleanly at the tail of the active segment even when that tail is a
+// frame mid-append. ErrPruned reports afterGen below the pruning horizon;
+// a non-tail framing failure is ErrCorrupt.
+func (st *Store) IterateFrom(afterGen uint64, fn func(gen uint64, payload []byte) error) (uint64, int, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return afterGen, 0, ErrClosed
+	}
+	if afterGen < st.prunedGen {
+		st.mu.Unlock()
+		return afterGen, 0, ErrPruned
+	}
+	ref := st.retainLocked(afterGen)
+	paths := make([]string, 0, len(st.sealed)+1)
+	for _, s := range st.sealed {
+		if s.maxGen > afterGen { // empty sealed segments (maxGen 0) skip too
+			paths = append(paths, s.path)
+		}
+	}
+	activePath := st.cur.path
+	paths = append(paths, activePath)
+	st.mu.Unlock()
+	defer ref.Release()
+
+	last, n := afterGen, 0
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) && path == activePath {
+				// The damaged-segment drop removed the active file under
+				// us; everything it held is checkpoint-covered. Stop here —
+				// the caller's next fetch goes through the redirect.
+				return last, n, nil
+			}
+			return last, n, err
+		}
+		br := bufio.NewReaderSize(f, 1<<16)
+		for {
+			payload, ferr := readFrame(br)
+			if ferr == io.EOF {
+				break
+			}
+			if ferr != nil {
+				f.Close()
+				if path == activePath {
+					// An append in progress: its frame is partially on
+					// disk. Not damage — the record completes (or is
+					// truncated away) before any later byte lands.
+					return last, n, nil
+				}
+				return last, n, fmt.Errorf("%w: segment %s failed stream read", ErrCorrupt, path)
+			}
+			g, derr := recordGen(payload)
+			if derr != nil {
+				f.Close()
+				return last, n, fmt.Errorf("%w: %v", ErrCorrupt, derr)
+			}
+			if g <= afterGen {
+				continue
+			}
+			if err := fn(g, payload); err != nil {
+				f.Close()
+				return last, n, err
+			}
+			last, n = g, n+1
+		}
+		f.Close()
+		ref.Update(last)
+	}
+	return last, n, nil
+}
+
+// CheckpointBytes returns the newest checkpoint's raw file contents and its
+// generation, for shipping to a bootstrapping follower. Only the envelope
+// (magic + CRC) is verified here; the follower decodes. If the file
+// vanishes mid-read (superseded by a newer checkpoint and removed), the
+// read retries against the new one.
+func (st *Store) CheckpointBytes() ([]byte, uint64, error) {
+	for {
+		st.mu.Lock()
+		hasCk, gen := st.hasCk, st.ckGen
+		st.mu.Unlock()
+		if !hasCk {
+			return nil, 0, ErrNoCheckpoint
+		}
+		data, err := os.ReadFile(checkpointPath(st.dir, gen))
+		if err != nil {
+			if os.IsNotExist(err) {
+				st.mu.Lock()
+				moved := st.ckGen != gen
+				st.mu.Unlock()
+				if moved {
+					continue
+				}
+			}
+			return nil, 0, err
+		}
+		if err := verifyCheckpointEnvelope(data); err != nil {
+			return nil, 0, err
+		}
+		return data, gen, nil
+	}
+}
+
+// verifyCheckpointEnvelope checks magic and CRC without decoding the body.
+func verifyCheckpointEnvelope(data []byte) error {
+	if len(data) < len(checkpointMagic)+4 {
+		return fmt.Errorf("%w: checkpoint file too short", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(checkpointMagic)], checkpointMagic[:]) {
+		return fmt.Errorf("%w: bad checkpoint magic", ErrCorrupt)
+	}
+	body := data[len(checkpointMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != want {
+		return fmt.Errorf("%w: checkpoint CRC mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+// ParseCheckpoint decodes a checkpoint file image (as served by
+// CheckpointBytes) back into a Checkpoint, validating magic and CRC.
+func ParseCheckpoint(data []byte) (Checkpoint, error) {
+	return unmarshalCheckpoint(data)
+}
+
+// DecodeRecord parses a record payload (as delivered by IterateFrom or the
+// replication stream) back into a BatchRecord.
+func DecodeRecord(payload []byte) (BatchRecord, error) {
+	return decodeRecord(payload)
+}

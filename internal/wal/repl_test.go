@@ -1,0 +1,329 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ingrass/internal/graph"
+)
+
+// TestRetainRefPinsSegmentsAgainstPruning is the regression test for the
+// shipper/pruner race: a checkpoint used to delete every covered sealed
+// segment even while a reader held a position inside them. With a retention
+// ref the prune floor stops at the slowest ref.
+func TestRetainRefPinsSegmentsAgainstPruning(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SegmentBytes: 64, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sp := testSparsifier(t, 3, 3)
+	for gen := uint64(1); gen <= 10; gen++ {
+		if _, err := st.Append(rec(gen, []graph.Edge{{U: int(gen % 9), V: 0, W: 1}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ref := st.Retain(4)
+	if err := st.WriteCheckpoint(Checkpoint{Gen: 10, State: sp.PersistentState()}); err != nil {
+		t.Fatal(err)
+	}
+	// Records 5..10 must still be readable through the pin.
+	var gens []uint64
+	last, n, err := st.IterateFrom(4, func(g uint64, payload []byte) error {
+		gens = append(gens, g)
+		if _, derr := DecodeRecord(payload); derr != nil {
+			return derr
+		}
+		return nil
+	})
+	if err != nil || last != 10 || n != 6 {
+		t.Fatalf("IterateFrom(4) = last %d, n %d, err %v (gens %v)", last, n, err, gens)
+	}
+	for i, g := range gens {
+		if g != uint64(5+i) {
+			t.Fatalf("gens out of order: %v", gens)
+		}
+	}
+	// Pruning did advance below the pin: generation 0's view is gone.
+	if _, _, err := st.IterateFrom(0, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrPruned) {
+		t.Fatalf("IterateFrom(0) after partial prune: %v, want ErrPruned", err)
+	}
+
+	// Releasing the ref lets the next checkpoint prune everything covered.
+	ref.Release()
+	if err := st.WriteCheckpoint(Checkpoint{Gen: 10, State: sp.PersistentState()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.IterateFrom(4, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrPruned) {
+		t.Fatalf("IterateFrom(4) after release: %v, want ErrPruned", err)
+	}
+	if pg := st.PrunedGen(); pg == 0 {
+		t.Fatal("PrunedGen still 0 after pruning")
+	}
+	// The tail above the horizon stays readable.
+	if _, n, err := st.IterateFrom(st.PrunedGen(), func(uint64, []byte) error { return nil }); err != nil || n < 0 {
+		t.Fatalf("IterateFrom(horizon): n %d, err %v", n, err)
+	}
+}
+
+func TestRetainRefNeverRetreats(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ref := st.Retain(5)
+	ref.Update(3)
+	if g := ref.Gen(); g != 5 {
+		t.Fatalf("Update retreated the ref to %d", g)
+	}
+	ref.Update(8)
+	if g := ref.Gen(); g != 8 {
+		t.Fatalf("Update did not advance: %d", g)
+	}
+	ref.Release()
+	ref.Release() // double release is harmless
+}
+
+// TestIterateFromSegmentBoundaries covers the seams: a record landing
+// exactly at a seal, iteration resuming from every position, and an empty
+// sealed segment file in the directory.
+func TestIterateFromSegmentBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1 seals after every record: each sealed segment holds
+	// exactly one record, so every record sits at a segment boundary.
+	st, err := Open(dir, Options{SegmentBytes: 1, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 6
+	for gen := uint64(1); gen <= total; gen++ {
+		if _, err := st.Append(rec(gen, []graph.Edge{{U: int(gen), V: 0, W: 1}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for from := uint64(0); from <= total; from++ {
+		var gens []uint64
+		last, n, err := st.IterateFrom(from, func(g uint64, _ []byte) error {
+			gens = append(gens, g)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("IterateFrom(%d): %v", from, err)
+		}
+		if n != int(total-from) {
+			t.Fatalf("IterateFrom(%d) saw %d records (%v)", from, n, gens)
+		}
+		wantLast := uint64(total)
+		if from == total {
+			wantLast = from
+		}
+		if last != wantLast {
+			t.Fatalf("IterateFrom(%d) last %d", from, last)
+		}
+		for i, g := range gens {
+			if g != from+uint64(i)+1 {
+				t.Fatalf("IterateFrom(%d) out of order: %v", from, gens)
+			}
+		}
+	}
+	st.Close()
+
+	// An empty sealed segment (a crash between segment creation and first
+	// append) must not derail iteration after reopen.
+	if err := os.WriteFile(segmentPath(dir, 99), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var n int
+	if _, n, err = st2.IterateFrom(0, func(uint64, []byte) error { n++; return nil }); err != nil {
+		t.Fatalf("IterateFrom over empty segment: %v", err)
+	}
+	if n != total {
+		t.Fatalf("saw %d records with empty segment present, want %d", n, total)
+	}
+}
+
+// TestIterateFromToleratesTornActiveTail: a torn frame at the tail of the
+// active segment is an append in progress, not corruption — iteration stops
+// cleanly after the complete records.
+func TestIterateFromToleratesTornActiveTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for gen := uint64(1); gen <= 3; gen++ {
+		if _, err := st.Append(rec(gen, []graph.Edge{{U: int(gen), V: 0, W: 1}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write half a frame straight to the active file — the on-disk shape of
+	// an append in progress (the store stays open; CrashAppend would close
+	// it, and a live shipper iterates against a live store).
+	torn := rec(4, []graph.Edge{{U: 4, V: 0, W: 1}})
+	payload, err := torn.encodePayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame bytes.Buffer
+	if _, err := writeFrame(&frame, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(st.cur.path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame.Bytes()[:frame.Len()/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	last, n, err := st.IterateFrom(0, func(uint64, []byte) error { return nil })
+	if err != nil {
+		t.Fatalf("IterateFrom over torn tail: %v", err)
+	}
+	if last != 3 || n != 3 {
+		t.Fatalf("torn tail leaked: last %d, n %d", last, n)
+	}
+}
+
+// A torn frame in a SEALED segment is corruption, not an append in
+// progress.
+func TestIterateFromSealedCorruptionIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SegmentBytes: 1, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := uint64(1); gen <= 3; gen++ {
+		if _, err := st.Append(rec(gen, []graph.Edge{{U: int(gen), V: 0, W: 1}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer st.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segmentPrefix+"*"))
+	if len(segs) < 2 {
+		t.Fatalf("want sealed segments, got %v", segs)
+	}
+	// Flip a payload byte in the first (sealed) segment.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.IterateFrom(0, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sealed corruption surfaced as %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendSignalWakesTailReader(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sig := st.AppendSignal()
+	select {
+	case <-sig:
+		t.Fatal("signal fired before any append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-sig:
+		case <-time.After(5 * time.Second):
+			t.Error("append signal never fired")
+		}
+	}()
+	if _, err := st.Append(rec(1, []graph.Edge{{U: 0, V: 1, W: 1}})); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestCheckpointBytesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, _, err := st.CheckpointBytes(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("CheckpointBytes before checkpoint: %v", err)
+	}
+	sp := testSparsifier(t, 3, 3)
+	if err := st.WriteCheckpoint(Checkpoint{Gen: 7, State: sp.PersistentState()}); err != nil {
+		t.Fatal(err)
+	}
+	data, gen, err := st.CheckpointBytes()
+	if err != nil || gen != 7 {
+		t.Fatalf("CheckpointBytes: gen %d, err %v", gen, err)
+	}
+	ck, err := ParseCheckpoint(data)
+	if err != nil || ck.Gen != 7 {
+		t.Fatalf("ParseCheckpoint: gen %d, err %v", ck.Gen, err)
+	}
+	// A flipped byte must not parse.
+	data[len(data)/2] ^= 0x01
+	if _, err := ParseCheckpoint(data); err == nil {
+		t.Fatal("ParseCheckpoint accepted a corrupted image")
+	}
+}
+
+func TestCoverableBytesTracksRetainedSegments(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SegmentBytes: 1, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for gen := uint64(1); gen <= 6; gen++ {
+		if _, err := st.Append(rec(gen, []graph.Edge{{U: int(gen), V: 0, W: 1}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing is checkpoint-covered yet.
+	if b := st.CoverableBytes(0); b != 0 {
+		t.Fatalf("CoverableBytes before checkpoint = %d", b)
+	}
+	ref := st.Retain(0) // pin everything so the checkpoint prunes nothing
+	defer ref.Release()
+	sp := testSparsifier(t, 3, 3)
+	if err := st.WriteCheckpoint(Checkpoint{Gen: 6, State: sp.PersistentState()}); err != nil {
+		t.Fatal(err)
+	}
+	all := st.CoverableBytes(0)
+	if all <= 0 {
+		t.Fatalf("CoverableBytes(0) = %d after covering checkpoint", all)
+	}
+	// Advancing the position monotonically shrinks the held bytes.
+	prev := all
+	for g := uint64(1); g <= 6; g++ {
+		b := st.CoverableBytes(g)
+		if b > prev {
+			t.Fatalf("CoverableBytes(%d) = %d grew past %d", g, b, prev)
+		}
+		prev = b
+	}
+	if prev != 0 {
+		t.Fatalf("CoverableBytes(lastGen) = %d, want 0", prev)
+	}
+}

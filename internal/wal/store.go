@@ -32,6 +32,7 @@ type segment struct {
 	seq     uint64
 	maxGen  uint64 // highest record generation inside (0 if empty)
 	records int
+	bytes   int64 // valid framed bytes (retention-cap accounting)
 }
 
 // Store is the on-disk durability state of one engine: a directory of WAL
@@ -63,6 +64,14 @@ type Store struct {
 	// (which covers every record the segment holds) abandons the segment
 	// and starts a fresh one.
 	damaged bool
+
+	// retains are the live retention refs pinning records against pruning;
+	// prunedGen is the highest generation pruning may have removed (see
+	// repl.go). appendSig, when non-nil, is closed by the next successful
+	// append — the long-poll wakeup for tail streaming.
+	retains   map[*RetainRef]struct{}
+	prunedGen uint64
+	appendSig chan struct{}
 
 	// SyncInterval background flusher lifecycle.
 	flushQuit chan struct{}
@@ -130,9 +139,18 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		segs[i].maxGen = maxGen
 		segs[i].records = records
+		segs[i].bytes = validLen
 		if maxGen > st.lastGen {
 			st.lastGen = maxGen
 		}
+	}
+
+	// Records at or below the newest checkpoint may have been pruned by a
+	// previous process; assume conservatively that they were. Replication
+	// readers always resume from a checkpoint generation, so the pessimism
+	// costs at most one redundant checkpoint re-bootstrap.
+	if st.hasCk {
+		st.prunedGen = st.ckGen
 	}
 
 	// The highest-numbered segment becomes the active one; everything
@@ -287,6 +305,7 @@ func (st *Store) sealActiveLocked() error {
 	if err := st.active.Close(); err != nil {
 		return err
 	}
+	st.cur.bytes = st.curLen
 	st.sealed = append(st.sealed, st.cur)
 	st.dirty = false
 	return st.openFreshSegmentLocked(st.cur.seq + 1)
@@ -334,6 +353,7 @@ func (st *Store) Append(rec BatchRecord) (int, error) {
 		st.cur.maxGen = rec.Gen
 	}
 	st.cur.records++
+	st.signalAppendLocked()
 
 	switch st.opts.Sync {
 	case SyncAlways:
@@ -454,6 +474,9 @@ func (st *Store) WriteCheckpoint(ck Checkpoint) error {
 		// resumes in a fresh one.
 		st.active.Close()
 		os.Remove(st.cur.path)
+		if st.cur.maxGen > st.prunedGen {
+			st.prunedGen = st.cur.maxGen
+		}
 		if err := st.openFreshSegmentLocked(st.cur.seq + 1); err != nil {
 			return err
 		}
@@ -464,11 +487,21 @@ func (st *Store) WriteCheckpoint(ck Checkpoint) error {
 			return err
 		}
 	}
-	// Delete every sealed segment whose records all predate the checkpoint.
+	// Delete every sealed segment whose records all predate the checkpoint
+	// AND sit below every live retention ref: a replication fetch or a
+	// recovery replay in flight must never lose a file out from under it
+	// (the pre-ref race: prune between LoadCheckpoint and Replay).
+	floor := st.ckGen
+	if f, ok := st.retainFloorLocked(); ok && f < floor {
+		floor = f
+	}
 	kept := st.sealed[:0]
 	for _, s := range st.sealed {
-		if s.maxGen <= st.ckGen {
+		if s.maxGen <= floor {
 			os.Remove(s.path)
+			if s.maxGen > st.prunedGen {
+				st.prunedGen = s.maxGen
+			}
 			continue
 		}
 		kept = append(kept, s)
@@ -483,17 +516,29 @@ func (st *Store) WriteCheckpoint(ck Checkpoint) error {
 // CRC (an older intact checkpoint, had it survived pruning, could not be
 // paired with the already-truncated WAL, so no fallback is attempted).
 func (st *Store) LoadCheckpoint() (Checkpoint, error) {
-	st.mu.Lock()
-	hasCk, gen := st.hasCk, st.ckGen
-	st.mu.Unlock()
-	if !hasCk {
-		return Checkpoint{}, ErrNoCheckpoint
+	for {
+		st.mu.Lock()
+		hasCk, gen := st.hasCk, st.ckGen
+		st.mu.Unlock()
+		if !hasCk {
+			return Checkpoint{}, ErrNoCheckpoint
+		}
+		data, err := os.ReadFile(checkpointPath(st.dir, gen))
+		if err != nil {
+			// A concurrent checkpoint supersedes and removes the file we
+			// targeted; retry against the newer one.
+			if os.IsNotExist(err) {
+				st.mu.Lock()
+				moved := st.ckGen != gen
+				st.mu.Unlock()
+				if moved {
+					continue
+				}
+			}
+			return Checkpoint{}, err
+		}
+		return unmarshalCheckpoint(data)
 	}
-	data, err := os.ReadFile(checkpointPath(st.dir, gen))
-	if err != nil {
-		return Checkpoint{}, err
-	}
-	return unmarshalCheckpoint(data)
 }
 
 // Empty reports whether the directory holds no durable state at all —
@@ -567,6 +612,18 @@ func (st *Store) Close() error {
 // for the adds, then each deletion batch in order). It returns the rebuilt
 // sparsifier and the generation it represents.
 func (st *Store) RestoreState() (*core.Sparsifier, uint64, error) {
+	// Pin the log at the current checkpoint generation for the whole
+	// load-then-replay window: a checkpoint written in between must not
+	// prune a segment the replay below is about to read.
+	st.mu.Lock()
+	var pin uint64
+	if st.hasCk {
+		pin = st.ckGen
+	}
+	ref := st.retainLocked(pin)
+	st.mu.Unlock()
+	defer ref.Release()
+
 	ck, err := st.LoadCheckpoint()
 	if err != nil {
 		return nil, 0, err

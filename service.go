@@ -10,6 +10,7 @@ import (
 	"ingrass/internal/graph"
 	"ingrass/internal/grass"
 	"ingrass/internal/obs"
+	"ingrass/internal/repl"
 	"ingrass/internal/service"
 	"ingrass/internal/wal"
 )
@@ -229,6 +230,13 @@ type Service struct {
 	metrics   *obs.Registry
 	batchOpts BatchOptions
 	coalesce  bool // CoalesceSingles: single reads ride the scheduler
+
+	// Replication roles (repl.go): at most one of these is set. A primary
+	// ships its WAL through replPrimary; a follower Service (built by
+	// Follow) applies the stream through follower and serves read-only.
+	replPrimary  *repl.Primary
+	replHandlers *ReplicationHandlers
+	follower     *repl.Follower
 }
 
 // NewService builds the initial sparsifier H(0) of g (as NewIncremental
@@ -462,6 +470,9 @@ func (s *Service) DeleteEdges(ctx context.Context, edges []Edge) (WriteResult, e
 // ErrCancelled; ErrNoConvergence reports an exhausted iteration budget.
 // Partial stats accompany both.
 func (s *Service) Solve(ctx context.Context, b []float64, opts SolveOptions) ([]float64, SolveStats, error) {
+	if err := s.readGate(); err != nil {
+		return nil, SolveStats{}, err
+	}
 	snap := s.eng.Current()
 	if s.coalesce {
 		// Coalesced path: concurrent same-generation solves share one
@@ -487,6 +498,9 @@ func (s *Service) Solve(ctx context.Context, b []float64, opts SolveOptions) ([]
 // comes from the snapshot's pooled workspaces, which is what keeps
 // steady-state solve throughput garbage-free under heavy traffic.
 func (s *Service) SolveInto(ctx context.Context, x, b []float64, opts SolveOptions) (SolveStats, error) {
+	if err := s.readGate(); err != nil {
+		return SolveStats{}, err
+	}
 	st, err := s.eng.Current().SolveInto(ctx, x, b, opts.internal())
 	return fromInternalSolveStats(st), err
 }
@@ -505,6 +519,9 @@ func fromInternalSolveStats(st service.SolveStats) SolveStats {
 // the current snapshot's original graph, returning the generation that
 // served the query. ctx cancellation aborts the underlying solve.
 func (s *Service) EffectiveResistance(ctx context.Context, u, v int) (float64, uint64, error) {
+	if err := s.readGate(); err != nil {
+		return 0, 0, err
+	}
 	snap := s.eng.Current()
 	if s.coalesce {
 		r, err := s.eng.ResistanceCoalesced(ctx, snap, u, v)
@@ -517,6 +534,9 @@ func (s *Service) EffectiveResistance(ctx context.Context, u, v int) (float64, u
 // ConditionNumber estimates kappa(L_G, L_H) for the current snapshot. ctx
 // cancellation aborts the power iteration between steps.
 func (s *Service) ConditionNumber(ctx context.Context, seed uint64) (float64, error) {
+	if err := s.readGate(); err != nil {
+		return 0, err
+	}
 	return s.eng.Current().ConditionNumber(ctx, seed)
 }
 
@@ -643,13 +663,30 @@ type ServiceStats struct {
 	GraphEdges      int     `json:"graph_edges"`
 	SparsifierEdges int     `json:"sparsifier_edges"`
 	Density         float64 `json:"density"`
+	// Replication. Role is "standalone", "primary", or "follower". The
+	// repl_* fields are zero outside their role: lag, readiness, and
+	// apply/bootstrap/fetch counters describe a follower; follower counts,
+	// retained bytes, and evictions describe a primary.
+	Role                  string  `json:"role"`
+	ReplLagGenerations    uint64  `json:"repl_lag_generations"`
+	ReplLagSeconds        float64 `json:"repl_lag_seconds"`
+	ReplReady             bool    `json:"repl_ready"`
+	ReplStale             bool    `json:"repl_stale"`
+	ReplAppliedRecords    uint64  `json:"repl_applied_records"`
+	ReplBootstraps        uint64  `json:"repl_bootstraps"`
+	ReplFetchErrors       uint64  `json:"repl_fetch_errors"`
+	ReplGapRefusals       uint64  `json:"repl_gap_refusals"`
+	ReplCRCErrors         uint64  `json:"repl_crc_errors"`
+	ReplFollowers         int     `json:"repl_followers"`
+	ReplRetainedBytes     int64   `json:"repl_retained_bytes"`
+	ReplFollowerEvictions uint64  `json:"repl_follower_evictions"`
 }
 
 // Stats returns engine counters plus current-generation graph sizes.
 func (s *Service) Stats() ServiceStats {
 	v := s.eng.Stats()
 	snap := s.eng.Current()
-	return ServiceStats{
+	out := ServiceStats{
 		Generation:            v.Generation,
 		Solves:                v.Solves,
 		SolveIters:            v.SolveIters,
@@ -698,7 +735,27 @@ func (s *Service) Stats() ServiceStats {
 		GraphEdges:      snap.G.NumEdges(),
 		SparsifierEdges: snap.H.NumEdges(),
 		Density:         graph.OffTreeDensity(snap.H.NumEdges(), snap.H.NumNodes(), snap.G.NumEdges()),
+
+		Role:      s.Role(),
+		ReplReady: s.Ready(),
 	}
+	if s.follower != nil {
+		fs := s.follower.Stats()
+		out.ReplLagGenerations = fs.LagGenerations
+		out.ReplLagSeconds = fs.LagSeconds
+		out.ReplStale = fs.Stale
+		out.ReplAppliedRecords = fs.AppliedRecords
+		out.ReplBootstraps = fs.Bootstraps
+		out.ReplFetchErrors = fs.FetchErrors
+		out.ReplGapRefusals = fs.GapRefusals
+		out.ReplCRCErrors = fs.CRCErrors
+	}
+	if s.replPrimary != nil {
+		out.ReplFollowers = s.replPrimary.Followers()
+		out.ReplRetainedBytes = s.replPrimary.RetainedBytes()
+		out.ReplFollowerEvictions = s.replPrimary.Evictions()
+	}
+	return out
 }
 
 // Flush blocks until every write enqueued before it has been applied and
@@ -709,6 +766,12 @@ func (s *Service) Flush(ctx context.Context) error { return s.eng.Flush(ctx) }
 // then syncs and closes the data directory (if any). Further writes fail;
 // reads against already-obtained snapshots keep working.
 func (s *Service) Close() {
+	if s.follower != nil {
+		s.follower.Stop()
+	}
+	if s.replPrimary != nil {
+		s.replPrimary.Close()
+	}
 	s.eng.Close()
 	if s.store != nil {
 		s.store.Close()
