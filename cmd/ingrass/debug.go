@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	rdebug "runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"ingrass/internal/obs"
+)
+
+// Process-level debug surface: runtime/metrics-backed gauges registered in
+// the service's obs registry (always on — they ride the normal /metrics
+// scrape and metricslint covers them), and a separate pprof listener gated
+// behind `serve -debug-addr` so profiling endpoints are never exposed on
+// the service port by accident.
+
+// runtimeSampler batches the runtime/metrics reads behind the registry's
+// GaugeFunc samples so one scrape triggers one metrics.Read, not five.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	last    time.Time
+}
+
+const runtimeSampleMaxAge = 250 * time.Millisecond
+
+// Indices into runtimeSampler.samples.
+const (
+	rsGoroutines = iota
+	rsHeapBytes
+	rsTotalBytes
+	rsGCCycles
+	rsGCPauses
+	rsNumSamples
+)
+
+func newRuntimeSampler() *runtimeSampler {
+	rs := &runtimeSampler{samples: make([]metrics.Sample, rsNumSamples)}
+	rs.samples[rsGoroutines].Name = "/sched/goroutines:goroutines"
+	rs.samples[rsHeapBytes].Name = "/memory/classes/heap/objects:bytes"
+	rs.samples[rsTotalBytes].Name = "/memory/classes/total:bytes"
+	rs.samples[rsGCCycles].Name = "/gc/cycles/total:gc-cycles"
+	rs.samples[rsGCPauses].Name = "/gc/pauses:seconds"
+	return rs
+}
+
+// value refreshes the sample set if stale and returns sample i as a float.
+func (rs *runtimeSampler) value(i int) float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if time.Since(rs.last) > runtimeSampleMaxAge {
+		metrics.Read(rs.samples)
+		rs.last = time.Now()
+	}
+	s := rs.samples[i]
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	case metrics.KindFloat64Histogram:
+		// The only histogram we sample is /gc/pauses:seconds; report the
+		// worst pause observed so far (upper bound of the highest
+		// non-empty bucket).
+		h := s.Value.Float64Histogram()
+		maxPause := 0.0
+		for b := len(h.Counts) - 1; b >= 0; b-- {
+			if h.Counts[b] > 0 {
+				maxPause = h.Buckets[b+1]
+				break
+			}
+		}
+		return maxPause
+	}
+	return 0
+}
+
+// registerRuntimeMetrics exposes process health gauges in reg: goroutine
+// count, heap and total memory, GC cycles and worst pause, uptime, and a
+// constant build-info series carrying the Go version and VCS revision as
+// labels (the standard Prometheus build_info idiom).
+func registerRuntimeMetrics(reg *obs.Registry, start time.Time) {
+	rs := newRuntimeSampler()
+	reg.GaugeFunc("ingrass_goroutines",
+		"Live goroutines in the serving process",
+		func() float64 { return rs.value(rsGoroutines) })
+	reg.GaugeFunc("ingrass_heap_objects_bytes",
+		"Bytes of live heap objects",
+		func() float64 { return rs.value(rsHeapBytes) })
+	reg.GaugeFunc("ingrass_memory_total_bytes",
+		"Total bytes of memory mapped by the Go runtime",
+		func() float64 { return rs.value(rsTotalBytes) })
+	reg.CounterFunc("ingrass_gc_cycles_total",
+		"Completed GC cycles",
+		func() float64 { return rs.value(rsGCCycles) })
+	reg.GaugeFunc("ingrass_gc_pause_max_seconds",
+		"Worst stop-the-world GC pause observed since process start",
+		func() float64 { return rs.value(rsGCPauses) })
+	reg.GaugeFunc("ingrass_uptime_seconds",
+		"Seconds since the serving process started",
+		func() float64 { return time.Since(start).Seconds() })
+
+	goVersion, revision := "unknown", "unknown"
+	if bi, ok := rdebug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	reg.GaugeFunc("ingrass_build_info",
+		"Build metadata as labels; value is always 1",
+		func() float64 { return 1 },
+		obs.Label{Key: "go_version", Value: goVersion},
+		obs.Label{Key: "revision", Value: revision})
+}
+
+// startDebugServer serves net/http/pprof on its own listener. Registering
+// on a private mux (not http.DefaultServeMux) keeps the profiling surface
+// off the service port entirely.
+func startDebugServer(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "ingrass: debug server on %s: %v\n", addr, err)
+		}
+	}()
+	fmt.Printf("debug server (pprof) on %s\n", addr)
+}

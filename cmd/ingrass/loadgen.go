@@ -616,11 +616,18 @@ func printSLOReport(w *os.File, rep *sloReport) {
 		classes = append(classes, c)
 	}
 	sort.Strings(classes)
+	relErr := 0.0
 	for _, c := range classes {
 		cr := rep.Classes[c]
 		fmt.Fprintf(w, "  %-7s %6d ops  p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p999 %8.3fms  max %8.3fms\n",
 			c, cr.Ops, cr.Latency.P50*1e3, cr.Latency.P90*1e3, cr.Latency.P99*1e3,
 			cr.Latency.P999*1e3, cr.Latency.Max*1e3)
+		if cr.Latency.RelErr > relErr {
+			relErr = cr.Latency.RelErr
+		}
+	}
+	if relErr > 0 {
+		fmt.Fprintf(w, "  quantiles interpolated from log-linear buckets; error <= %.1f%% relative\n", relErr*100)
 	}
 }
 

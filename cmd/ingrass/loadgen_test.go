@@ -13,7 +13,7 @@ import (
 // ops, and the CI smoke gate passes.
 func TestRunLoadgenEndToEnd(t *testing.T) {
 	svc := testService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	cfg := loadgenConfig{

@@ -84,6 +84,8 @@ func main() {
 		cmdBench(os.Args[2:])
 	case "loadgen":
 		cmdLoadgen(os.Args[2:])
+	case "slow":
+		cmdSlow(os.Args[2:])
 	case "metricslint":
 		cmdMetricsLint(os.Args[2:])
 	default:
@@ -106,6 +108,7 @@ commands:
   info       print graph statistics
   bench      run hot-path microbenchmarks; append a run to BENCH_solve.json
   loadgen    drive a serve instance with an open-loop trace workload; report SLOs
+  slow       render a server's flight-recorder traces as per-span waterfalls
   metricslint  lint a Prometheus text exposition (stdin or -in) for format violations`)
 	os.Exit(2)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ingrass/internal/obs"
+	"ingrass/internal/obs/trace"
 )
 
 // HTTP-layer observability: every endpoint handler is wrapped in a
@@ -38,12 +39,26 @@ const (
 	epReplCheckpoint  = "repl_checkpoint"
 	epReplSegments    = "repl_segments"
 	epReplStatus      = "repl_status"
+	epDebugRequests   = "debug_requests"
 )
 
 var endpointNames = []string{
 	epEdgesAdd, epEdgesDelete, epSolve, epSolveBatch, epSparsifier,
 	epResistance, epResistanceBatch, epResparsify, epStats, epHealthz, epMetrics,
-	epReplCheckpoint, epReplSegments, epReplStatus,
+	epReplCheckpoint, epReplSegments, epReplStatus, epDebugRequests,
+}
+
+// untracedEndpoints are exempt from request tracing: scrape/liveness
+// endpoints would only pollute the flight recorder, /repl/segments is a
+// long-poll whose "latency" is the poll window, and tracing the debug
+// endpoint that serves traces would be circular.
+var untracedEndpoints = map[string]bool{
+	epMetrics:        true,
+	epHealthz:        true,
+	epReplCheckpoint: true,
+	epReplSegments:   true,
+	epReplStatus:     true,
+	epDebugRequests:  true,
 }
 
 // Status-code classes (codeClasses order matches codeClass indices).
@@ -89,16 +104,20 @@ type endpointMetrics struct {
 type httpMetrics struct {
 	inflight *obs.Gauge
 	eps      map[string]*endpointMetrics
+	// tracer opens a root span per request on traced endpoints and decides
+	// retention when the request finishes. Nil disables tracing entirely.
+	tracer *trace.Recorder
 }
 
 // newHTTPMetrics registers the HTTP request metrics in reg: a latency
 // histogram per endpoint, a response counter per (endpoint, code), and one
-// in-flight gauge.
-func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+// in-flight gauge. tracer may be nil (no request tracing).
+func newHTTPMetrics(reg *obs.Registry, tracer *trace.Recorder) *httpMetrics {
 	hm := &httpMetrics{
 		inflight: reg.Gauge("ingrass_http_inflight_requests",
 			"HTTP requests currently being handled"),
-		eps: make(map[string]*endpointMetrics, len(endpointNames)),
+		eps:    make(map[string]*endpointMetrics, len(endpointNames)),
+		tracer: tracer,
 	}
 	for _, ep := range endpointNames {
 		em := &endpointMetrics{
@@ -149,17 +168,36 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// wrap instruments one endpoint handler.
+// wrap instruments one endpoint handler: latency histogram, status-class
+// counter, and (on traced endpoints) a root trace span continuing any
+// inbound traceparent header. Retained traces attach their ID as an
+// exemplar on the latency histogram so a dashboard can jump from a slow
+// bucket straight to the flight-recorder trace.
 func (hm *httpMetrics) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	em := hm.eps[endpoint]
+	traced := hm.tracer != nil && !untracedEndpoints[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		hm.inflight.Add(1)
 		defer hm.inflight.Add(-1)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		var root trace.Span
+		if traced {
+			remote, _ := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+			root = hm.tracer.StartRequest(endpoint, remote)
+			if root.Tracing() {
+				r = r.WithContext(trace.NewContext(r.Context(), root))
+			}
+		}
 		h(rec, r)
-		em.dur.ObserveSince(start)
+		d := time.Since(start)
+		em.dur.Observe(int64(d))
 		em.codes[codeClass(rec.status)].Inc()
+		if traced {
+			if snap := hm.tracer.Finish(root, rec.status); snap != nil {
+				em.dur.SetExemplar(int64(d), snap.TraceID)
+			}
+		}
 	}
 }
 

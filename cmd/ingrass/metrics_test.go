@@ -19,7 +19,7 @@ import (
 // violations, and the specific series the dashboards key on.
 func TestMetricsEndpointExposition(t *testing.T) {
 	svc := testService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	b := make([]float64, 36)
@@ -78,7 +78,7 @@ func TestMetricsEndpointExposition(t *testing.T) {
 // per-endpoint block in /stats and the engine-level counters.
 func TestStatsFailureModeCounters(t *testing.T) {
 	svc := testService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	b := make([]float64, 36)
@@ -167,7 +167,7 @@ func TestCodeClassMapping(t *testing.T) {
 func TestMiddlewareForwardsFlush(t *testing.T) {
 	var _ http.Flusher = (*statusRecorder)(nil)
 
-	hm := newHTTPMetrics(obs.NewRegistry())
+	hm := newHTTPMetrics(obs.NewRegistry(), nil)
 	h := hm.wrap(epReplSegments, func(w http.ResponseWriter, r *http.Request) {
 		f, ok := w.(http.Flusher)
 		if !ok {

@@ -11,6 +11,8 @@ import (
 	"syscall"
 	"time"
 
+	"ingrass/internal/obs"
+	"ingrass/internal/obs/trace"
 	"ingrass/internal/repl"
 )
 
@@ -30,6 +32,8 @@ func cmdRoute(args []string) {
 	replicas := fs.String("replicas", "", "comma-separated follower base URLs reads fan across")
 	healthEvery := fs.Duration("health-every", 500*time.Millisecond, "active health-check interval")
 	ejectFor := fs.Duration("eject-for", 2*time.Second, "how long a failing backend stays out of rotation")
+	traceSample := fs.Float64("trace-sample", 0.01, "head-sampling probability for routed request traces (propagated to backends)")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "retain any routed request trace at least this slow")
 	_ = fs.Parse(args)
 	if *primary == "" {
 		fs.Usage()
@@ -42,11 +46,25 @@ func cmdRoute(args []string) {
 		}
 	}
 
+	// The router has its own registry (it is its own process) and its own
+	// trace recorder: each routed request gets a root span plus a
+	// router_client span per forward attempt, and the trace ID travels to
+	// the chosen backend so /debug/requests can stitch both sides.
+	reg := obs.NewRegistry()
+	tracer := trace.NewRecorder(trace.Options{
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+	})
+	tracer.RegisterMetrics(reg)
+	registerRuntimeMetrics(reg, time.Now())
+
 	rt := repl.NewRouter(repl.RouterOptions{
 		Primary:     strings.TrimRight(*primary, "/"),
 		Replicas:    reps,
 		HealthEvery: *healthEvery,
 		EjectFor:    *ejectFor,
+		Obs:         reg,
+		Tracer:      tracer,
 	})
 	rt.Start()
 	defer rt.Stop()

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ingrass"
+	"ingrass/internal/obs/trace"
 	"ingrass/internal/solver"
 )
 
@@ -60,6 +61,9 @@ func cmdServe(args []string) {
 	follow := fs.String("follow", "", "run as a read-only follower of this primary base URL (e.g. http://127.0.0.1:8080)")
 	followerID := fs.String("follower-id", "", "stable follower identity for primary-side segment retention (default: the listen address)")
 	maxStaleness := fs.Duration("max-staleness", 0, "with -follow: refuse reads once out of contact with the primary this long (0 = serve the last applied generation indefinitely)")
+	traceSample := fs.Float64("trace-sample", 0.01, "head-sampling probability for request traces (0 = only errors and slow requests are retained)")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "retain any request trace at least this slow")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra address (empty = disabled)")
 	_ = fs.Parse(args)
 
 	if _, err := solver.ParseFormat(*format); err != nil {
@@ -179,6 +183,19 @@ func cmdServe(args []string) {
 	fmt.Printf("serving: %d nodes, %d edges, sparsifier %d edges, generation %d (role %s)\n",
 		st.Nodes, st.GraphEdges, st.SparsifierEdges, st.Generation, svc.Role())
 
+	// Request tracing + flight recorder: the recorder's counters land in
+	// the same registry /metrics scrapes, and its retained traces serve
+	// GET /debug/requests.
+	tracer := trace.NewRecorder(trace.Options{
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+	})
+	tracer.RegisterMetrics(svc.Metrics())
+	registerRuntimeMetrics(svc.Metrics(), start)
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr)
+	}
+
 	// Periodic checkpoints bound the WAL tail a restart must replay.
 	if *dataDir != "" && *follow == "" && *ckptEvery > 0 {
 		go func() {
@@ -199,7 +216,7 @@ func cmdServe(args []string) {
 		}()
 	}
 
-	server := &http.Server{Addr: *addr, Handler: newServeMux(svc)}
+	server := &http.Server{Addr: *addr, Handler: newServeMux(svc, tracer)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
 	fmt.Printf("listening on %s\n", *addr)
@@ -393,17 +410,22 @@ func solveStatus(err error) int {
 //	GET    /stats                                          engine + scheduler + per-endpoint counters (JSON)
 //	GET    /metrics                                        Prometheus text exposition
 //	GET    /healthz                                        liveness
+//	GET    /debug/requests   ?trace=&endpoint=             flight-recorder traces (JSON)
 //
 // Every handler is wrapped in the httpMetrics middleware (see metrics.go),
 // so request latency and response codes land in the same obs registry the
 // engine exposes — /stats and /metrics are two renderings of one store.
+// The middleware also roots a trace span per request (continuing an
+// inbound traceparent header), so a routed request shows up as one
+// stitched cross-process trace in /debug/requests.
 //
 // Concurrent single POST /solve requests against the same generation are
 // transparently coalesced into blocked multi-RHS executions when the
-// service was started with -coalesce (the default).
-func newServeMux(svc *ingrass.Service) *http.ServeMux {
+// service was started with -coalesce (the default). tracer may be nil
+// (requests are served untraced).
+func newServeMux(svc *ingrass.Service, tracer *trace.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
-	hm := newHTTPMetrics(svc.Metrics())
+	hm := newHTTPMetrics(svc.Metrics(), tracer)
 
 	decodeEdges := func(w http.ResponseWriter, r *http.Request) ([]ingrass.Edge, bool) {
 		var req edgesRequest
@@ -663,6 +685,10 @@ func newServeMux(svc *ingrass.Service) *http.ServeMux {
 			"ready":  svc.Ready(),
 		})
 	}))
+
+	// The flight recorder: the K slowest and all failed request traces per
+	// endpoint, newest first, filterable by ?trace= and ?endpoint=.
+	mux.HandleFunc("GET /debug/requests", hm.wrap(epDebugRequests, tracer.Handler()))
 
 	// A replication primary additionally ships checkpoints and the WAL
 	// record tail; followers and their fetch loops are the only intended

@@ -47,7 +47,7 @@ func testBatchService(t *testing.T) *ingrass.Service {
 // offending field and a machine-matchable reason.
 func TestResistanceValidation(t *testing.T) {
 	svc := testService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	cases := []struct {
@@ -94,7 +94,7 @@ func TestResistanceValidation(t *testing.T) {
 // identically to individual POST /solve calls, under one generation.
 func TestSolveBatchEndpoint(t *testing.T) {
 	svc := testBatchService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	const n, k = 36, 5
@@ -145,7 +145,7 @@ func TestSolveBatchEndpoint(t *testing.T) {
 // degenerate, and invalid pairs with per-item outcomes.
 func TestResistanceBatchEndpoint(t *testing.T) {
 	svc := testBatchService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	req := batchResistanceRequest{Pairs: []edgeJSON{
@@ -188,7 +188,7 @@ func TestResistanceBatchEndpoint(t *testing.T) {
 // transparently coalesced, and GET /stats exposes the scheduler counters.
 func TestCoalescedSolvesAndStats(t *testing.T) {
 	svc := testBatchService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	const n, clients = 36, 8

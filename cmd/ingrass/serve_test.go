@@ -73,7 +73,7 @@ func doJSON(t *testing.T, srv *httptest.Server, method, path string, body any, o
 
 func TestHTTPEndpoints(t *testing.T) {
 	svc := testService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	// Health.
@@ -164,7 +164,7 @@ func TestHTTPEndpoints(t *testing.T) {
 
 func TestHTTPErrors(t *testing.T) {
 	svc := testService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	// Malformed body.

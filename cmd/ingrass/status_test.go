@@ -35,7 +35,7 @@ func TestSolveStatusMapping(t *testing.T) {
 // request body to the innermost CG loop.
 func TestHTTPSolveOptionsReachSolver(t *testing.T) {
 	svc := testService(t)
-	srv := httptest.NewServer(newServeMux(svc))
+	srv := httptest.NewServer(newServeMux(svc, nil))
 	defer srv.Close()
 
 	b := make([]float64, 36)

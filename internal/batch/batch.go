@@ -112,8 +112,9 @@ type Req struct {
 	Resistance float64
 	Err        error
 
-	gen  uint64
-	done chan struct{}
+	gen       uint64
+	done      chan struct{}
+	submitted time.Time
 }
 
 // Done is closed once the request's group has executed (or the request was
@@ -122,6 +123,11 @@ func (r *Req) Done() <-chan struct{} { return r.done }
 
 // Gen returns the generation the request executed against.
 func (r *Req) Gen() uint64 { return r.gen }
+
+// SubmittedAt returns when the request was admitted by Submit (zero before
+// admission). The executor uses it to backdate a batch-group trace span so
+// the span covers queue wait as well as execution.
+func (r *Req) SubmittedAt() time.Time { return r.submitted }
 
 // Wait blocks until the request completes or ctx is cancelled. A nil error
 // means the result fields are safe to read (including a per-column Err);
@@ -245,6 +251,7 @@ func (s *Scheduler[T]) Submit(ctx context.Context, gen uint64, target T, r *Req,
 	}
 	r.gen = gen
 	r.done = make(chan struct{})
+	r.submitted = time.Now()
 	s.stats.depth.Add(1)
 
 	s.mu.Lock()

@@ -76,6 +76,45 @@ type Histogram struct {
 	// scale converts raw recorded values to the exposed unit at rendering
 	// time (ScaleSeconds for ns -> s); recording stays integer-only.
 	scale float64
+	// ex is the most recent exemplar (a retained trace attached to the
+	// bucket its latency fell in). Lazily set; nil until SetExemplar.
+	ex atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it, exposed
+// on the matching _bucket line in OpenMetrics exemplar syntax so a
+// dashboard can jump from a latency bucket to the flight-recorder trace.
+type Exemplar struct {
+	Bucket   int    // bucket index the value fell in
+	Value    int64  // raw (unscaled) observed value
+	TraceID  string // 32-hex trace ID
+	UnixNano int64  // when the exemplar was recorded
+}
+
+// SetExemplar attaches trace traceID as the exemplar for raw value v.
+// Called only on the trace-retention path, so the allocation is off the
+// hot path; the store itself is one atomic pointer swap.
+func (h *Histogram) SetExemplar(v int64, traceID string) {
+	if h == nil || traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.ex.Store(&Exemplar{
+		Bucket:   bucketIndex(v),
+		Value:    v,
+		TraceID:  traceID,
+		UnixNano: time.Now().UnixNano(),
+	})
+}
+
+// exemplar returns the current exemplar, or nil.
+func (h *Histogram) exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.ex.Load()
 }
 
 // Unit scales for NewHistogram / Registry.Histogram.
@@ -159,16 +198,71 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return bucketBounds[numBuckets-1]
 }
 
+// QuantileInterpolated returns the q-quantile (0 < q <= 1) in raw units,
+// linearly interpolated within the bucket holding the rank. Unlike
+// Quantile it does not snap to the bucket's upper bound — which turned
+// every reported p50 into a power-of-two boundary (0.134217727s = raw
+// 2^27-1 ns) — so it can land below the true sample quantile by up to one
+// bucket width. The error is bounded either way by the bucket's relative
+// width, RelErrBound. Returns 0 with no observations.
+func (h *Histogram) QuantileInterpolated(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketBounds[i-1] + 1
+			}
+			if i == numBuckets-1 {
+				// Overflow bucket: no finite upper bound to interpolate to.
+				return lo
+			}
+			hi := bucketBounds[i]
+			frac := float64(rank-cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo)+0.5)
+		}
+		cum += c
+	}
+	return bucketBounds[numBuckets-1]
+}
+
+// RelErrBound is the histogram's quantile accuracy contract: any reported
+// quantile is within this relative error of the true sample quantile
+// (plus 1 for integer bucket edges), set by the 1/histSub bucket width.
+const RelErrBound = 1.0 / histSub
+
 // Summary is a point-in-time quantile digest in exposed (scaled) units,
-// JSON-friendly for /stats and SLO reports.
+// JSON-friendly for /stats and SLO reports. Quantiles are interpolated
+// within buckets; each is within RelErr relative error of the true sample
+// quantile (the digest's accuracy contract, stated in-band so report
+// readers do not mistake bucket resolution for measurement).
 type Summary struct {
-	Count uint64  `json:"count"`
-	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
-	P999  float64 `json:"p999"`
-	Max   float64 `json:"max"`
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	P999   float64 `json:"p999"`
+	Max    float64 `json:"max"`
+	RelErr float64 `json:"rel_err_bound,omitempty"`
 }
 
 // Summarize digests the histogram. Concurrent observers may skew Count
@@ -179,22 +273,23 @@ func (h *Histogram) Summarize() Summary {
 	}
 	s := h.scale
 	return Summary{
-		Count: h.count.Load(),
-		Sum:   float64(h.sum.Load()) * s,
-		P50:   float64(h.Quantile(0.50)) * s,
-		P90:   float64(h.Quantile(0.90)) * s,
-		P99:   float64(h.Quantile(0.99)) * s,
-		P999:  float64(h.Quantile(0.999)) * s,
-		Max:   float64(h.Quantile(1.0)) * s,
+		Count:  h.count.Load(),
+		Sum:    float64(h.sum.Load()) * s,
+		P50:    float64(h.QuantileInterpolated(0.50)) * s,
+		P90:    float64(h.QuantileInterpolated(0.90)) * s,
+		P99:    float64(h.QuantileInterpolated(0.99)) * s,
+		P999:   float64(h.QuantileInterpolated(0.999)) * s,
+		Max:    float64(h.Quantile(1.0)) * s,
+		RelErr: RelErrBound,
 	}
 }
 
 // buckets invokes fn for every non-empty bucket in ascending order with the
-// bucket's inclusive upper bound (raw units) and its count.
-func (h *Histogram) buckets(fn func(upper int64, count uint64)) {
+// bucket's index, inclusive upper bound (raw units), and count.
+func (h *Histogram) buckets(fn func(idx int, upper int64, count uint64)) {
 	for i := 0; i < numBuckets; i++ {
 		if c := h.counts[i].Load(); c > 0 {
-			fn(bucketBounds[i], c)
+			fn(i, bucketBounds[i], c)
 		}
 	}
 }

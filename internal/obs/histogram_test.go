@@ -114,7 +114,7 @@ func TestHistogramConcurrentRecord(t *testing.T) {
 		t.Fatalf("count %d, want %d", got, goroutines*perG)
 	}
 	var cum uint64
-	h.buckets(func(_ int64, c uint64) { cum += c })
+	h.buckets(func(_ int, _ int64, c uint64) { cum += c })
 	if cum != goroutines*perG {
 		t.Fatalf("bucket sum %d, want %d", cum, goroutines*perG)
 	}

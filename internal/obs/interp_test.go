@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestQuantileInterpolatedRelErr is the digest accuracy contract from the
+// loadgen SLO report: quantiles interpolated within buckets are within
+// RelErrBound relative error of the exact quantile of the sorted samples,
+// in BOTH directions (Quantile only promises an upper bound; interpolation
+// must also not undershoot by more than a bucket width).
+func TestQuantileInterpolatedRelErr(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999}
+	for trial := 0; trial < 50; trial++ {
+		n := 100 + rng.Intn(5000)
+		samples := make([]int64, n)
+		h := NewHistogram(ScaleNone)
+		for i := range samples {
+			var v int64
+			switch trial % 3 {
+			case 0: // uniform small
+				v = int64(rng.Intn(1000))
+			case 1: // log-uniform over the full latency range
+				v = int64(1) << uint(rng.Intn(40))
+				v += rng.Int63n(v + 1)
+			default: // heavy-tailed
+				v = int64(rng.ExpFloat64() * 1e6)
+			}
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			rank := int(float64(n)*q+0.9999) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			if rank >= n {
+				rank = n - 1
+			}
+			truth := samples[rank]
+			got := h.QuantileInterpolated(q)
+			slack := int64(float64(truth)*RelErrBound) + 1
+			if got < truth-slack || got > truth+slack {
+				t.Fatalf("trial %d q=%g: interpolated %d outside [%d, %d] (true %d)",
+					trial, q, got, truth-slack, truth+slack, truth)
+			}
+		}
+	}
+}
+
+// TestQuantileInterpolatedNotBucketBound pins the bug the interpolation
+// fixed: a digest over a spread of samples inside one octave must not snap
+// to the bucket's upper bound the way Quantile does.
+func TestQuantileInterpolatedNotBucketBound(t *testing.T) {
+	h := NewHistogram(ScaleNone)
+	// 1000 samples spread across [1<<20, 1<<21): many land in the same
+	// log-linear bucket, so the p50 read off bucket upper bounds is badly
+	// quantized.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		h.Observe(1<<20 + rng.Int63n(1<<20))
+	}
+	ub := h.Quantile(0.5)
+	in := h.QuantileInterpolated(0.5)
+	if in > ub {
+		t.Fatalf("interpolated p50 %d above bucket-bound p50 %d", in, ub)
+	}
+	if in == ub {
+		t.Fatalf("interpolated p50 %d still snapped to the bucket bound", in)
+	}
+	// Empty and single-sample edge cases.
+	e := NewHistogram(ScaleNone)
+	if e.QuantileInterpolated(0.5) != 0 {
+		t.Fatal("empty histogram p50 != 0")
+	}
+	e.Observe(0)
+	if got := e.QuantileInterpolated(0.5); got != 0 {
+		t.Fatalf("all-zero histogram p50 = %d", got)
+	}
+}
+
+// TestSummarizeUsesInterpolationAndStatesError: the JSON digest carries its
+// accuracy contract in-band.
+func TestSummarizeUsesInterpolationAndStatesError(t *testing.T) {
+	h := NewHistogram(ScaleNone)
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(1 << 20)
+	}
+	s := h.Summarize()
+	if s.RelErr != RelErrBound {
+		t.Fatalf("RelErr %g, want %g", s.RelErr, RelErrBound)
+	}
+	slack := (1 << 20) * RelErrBound
+	if s.P50 < (1<<20)-slack || s.P50 > (1<<20)+slack {
+		t.Fatalf("p50 %g not within %g of 2^20", s.P50, slack)
+	}
+}
+
+// TestExemplarExposition: a histogram with an exemplar renders the
+// OpenMetrics ` # {trace_id="…"}` annotation on exactly the matching
+// _bucket line, and the result passes the lint.
+func TestExemplarExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("app_latency_seconds", "request latency", ScaleSeconds)
+	h.Observe(1500)
+	h.Observe(2_000_000)
+	h.SetExemplar(2_000_000, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var exLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " # {") {
+			exLines = append(exLines, line)
+		}
+	}
+	if len(exLines) != 1 {
+		t.Fatalf("want exactly 1 exemplar line, got %d:\n%s", len(exLines), out)
+	}
+	if !strings.HasPrefix(exLines[0], "app_latency_seconds_bucket{") {
+		t.Fatalf("exemplar not on a _bucket line: %q", exLines[0])
+	}
+	if !strings.Contains(exLines[0], `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.002`) {
+		t.Fatalf("exemplar annotation wrong: %q", exLines[0])
+	}
+	if errs := LintExposition(buf.Bytes()); len(errs) != 0 {
+		t.Fatalf("exemplar exposition failed lint: %v", errs)
+	}
+}
+
+// TestLintExemplarPlacement: the lint accepts exemplars only on _bucket
+// lines and only with valid syntax.
+func TestLintExemplarPlacement(t *testing.T) {
+	bad := map[string]string{
+		"exemplar on counter": "# TYPE x_total counter\nx_total 1 # {trace_id=\"ab\"} 1\n",
+		"exemplar on gauge":   "# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n",
+		"missing labels":      "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # trace 1\nh_sum 1\nh_count 1\n",
+		"bad exemplar value":  "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} nope\nh_sum 1\nh_count 1\n",
+	}
+	for name, input := range bad {
+		if errs := LintExposition([]byte(input)); len(errs) == 0 {
+			t.Errorf("%s: lint found nothing in %q", name, input)
+		}
+	}
+	clean := "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} 0.5 1700000000.123\nh_sum 1\nh_count 1\n"
+	if errs := LintExposition([]byte(clean)); len(errs) != 0 {
+		t.Errorf("clean exemplar flagged: %v", errs)
+	}
+}

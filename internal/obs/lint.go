@@ -108,12 +108,19 @@ func LintExposition(data []byte) []error {
 			continue
 		}
 
-		name, labels, value, err := parseSample(line)
+		name, labels, value, exemplar, err := parseSample(line)
 		if err != nil {
 			addErr(ln, "%v", err)
 			continue
 		}
 		fam, suffix := baseFamily(name)
+		if exemplar != "" {
+			if suffix != "_bucket" {
+				addErr(ln, "exemplar on non-bucket sample %s", name)
+			} else if eerr := validateExemplar(exemplar); eerr != nil {
+				addErr(ln, "sample %s: %v", name, eerr)
+			}
+		}
 		st := families[fam]
 		if st == nil || !st.hasType {
 			addErr(ln, "sample %s has no preceding TYPE declaration", name)
@@ -212,27 +219,33 @@ func LintExposition(data []byte) []error {
 	return errs
 }
 
-// parseSample splits one sample line into name, labels, and value.
-func parseSample(line string) (string, []Label, float64, error) {
+// parseSample splits one sample line into name, labels, value, and any
+// trailing OpenMetrics exemplar (the portion after " # ", "" if absent).
+func parseSample(line string) (string, []Label, float64, string, error) {
+	var exemplar string
+	if hash := strings.Index(line, " # "); hash >= 0 {
+		exemplar = line[hash+3:]
+		line = line[:hash]
+	}
 	nameEnd := strings.IndexAny(line, "{ ")
 	if nameEnd < 0 {
-		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		return "", nil, 0, "", fmt.Errorf("malformed sample %q", line)
 	}
 	name := line[:nameEnd]
 	if !validName(name) {
-		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+		return "", nil, 0, "", fmt.Errorf("invalid metric name %q", name)
 	}
 	rest := line[nameEnd:]
 	var labels []Label
 	if rest[0] == '{' {
 		close := strings.Index(rest, "}")
 		if close < 0 {
-			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			return "", nil, 0, "", fmt.Errorf("unterminated label set in %q", line)
 		}
 		var err error
 		labels, err = parseLabels(rest[1:close])
 		if err != nil {
-			return "", nil, 0, err
+			return "", nil, 0, "", err
 		}
 		rest = rest[close+1:]
 	}
@@ -243,9 +256,34 @@ func parseSample(line string) (string, []Label, float64, error) {
 	}
 	v, err := parseValue(valStr)
 	if err != nil {
-		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", valStr, line)
+		return "", nil, 0, "", fmt.Errorf("unparseable value %q in %q", valStr, line)
 	}
-	return name, labels, v, nil
+	return name, labels, v, exemplar, nil
+}
+
+// validateExemplar checks the OpenMetrics exemplar syntax this exposition
+// emits: `{label="value",...} value [timestamp]`.
+func validateExemplar(s string) error {
+	if len(s) == 0 || s[0] != '{' {
+		return fmt.Errorf("malformed exemplar %q: missing label set", s)
+	}
+	close := strings.Index(s, "}")
+	if close < 0 {
+		return fmt.Errorf("malformed exemplar %q: unterminated label set", s)
+	}
+	if _, err := parseLabels(s[1:close]); err != nil {
+		return fmt.Errorf("malformed exemplar %q: %v", s, err)
+	}
+	fields := strings.Fields(s[close+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("malformed exemplar %q: want value [timestamp]", s)
+	}
+	for _, f := range fields {
+		if _, err := parseValue(f); err != nil {
+			return fmt.Errorf("malformed exemplar %q: unparseable %q", s, f)
+		}
+	}
+	return nil
 }
 
 func parseValue(s string) (float64, error) {

@@ -76,15 +76,25 @@ func (r *Registry) WriteText(w io.Writer, prefixes ...string) error {
 // writeHistogramSeries emits the cumulative bucket, sum, and count samples
 // of one histogram series. Only non-empty buckets are emitted (plus +Inf),
 // which keeps scrapes proportional to the observed value spread while
-// remaining valid exposition (le values stay sorted and cumulative).
+// remaining valid exposition (le values stay sorted and cumulative). A
+// stored exemplar is appended to its bucket's line in OpenMetrics exemplar
+// syntax (`# {trace_id="..."} value timestamp`).
 func writeHistogramSeries(bw *bufio.Writer, name string, s *series) {
 	h := s.hist
+	ex := h.exemplar()
 	var cum uint64
-	h.buckets(func(upper int64, count uint64) {
+	h.buckets(func(idx int, upper int64, count uint64) {
 		cum += count
 		bw.WriteString(name + "_bucket")
 		writeLabels(bw, s.labels, formatValue(float64(upper)*h.scale))
-		fmt.Fprintf(bw, " %d\n", cum)
+		fmt.Fprintf(bw, " %d", cum)
+		if ex != nil && ex.Bucket == idx {
+			fmt.Fprintf(bw, " # {trace_id=\"%s\"} %s %d.%03d",
+				ex.TraceID, formatValue(float64(ex.Value)*h.scale),
+				ex.UnixNano/1e9, (ex.UnixNano%1e9)/1e6)
+			ex = nil
+		}
+		bw.WriteByte('\n')
 	})
 	total := h.Count()
 	if total < cum {

@@ -1,0 +1,121 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying span. This allocates (context value +
+// boxing) and belongs in request setup, never inside a solve loop.
+func NewContext(ctx context.Context, span Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// FromContext returns the span carried by ctx, or the inert zero Span.
+// Allocation-free: the warm solve path calls this on every request and
+// must stay 0 allocs/op.
+func FromContext(ctx context.Context) Span {
+	if s, ok := ctx.Value(ctxKey{}).(Span); ok {
+		return s
+	}
+	return Span{}
+}
+
+// TraceparentHeader is the propagation header name (W3C Trace Context).
+const TraceparentHeader = "traceparent"
+
+const hexDigits = "0123456789abcdef"
+
+// Traceparent renders the propagation header value for requests sent
+// downstream while s is live: version 00, the trace ID, s as the parent
+// span, and flag bit 0 carrying the retention hint.
+func (s Span) Traceparent() string {
+	if !s.live() {
+		return ""
+	}
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	putHex64(buf[3:19], s.t.id.Hi)
+	putHex64(buf[19:35], s.t.id.Lo)
+	buf[35] = '-'
+	putHex64(buf[36:52], s.ID())
+	buf[52], buf[53] = '-', '0'
+	if s.t.forced {
+		buf[54] = '1'
+	} else {
+		buf[54] = '0'
+	}
+	return string(buf[:])
+}
+
+func putHex64(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts version
+// 00 with the standard 32-hex trace ID, 16-hex parent span ID, and 2-hex
+// flags; anything else returns ok=false (the request starts a new trace).
+func ParseTraceparent(v string) (Remote, bool) {
+	if len(v) != 55 || v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return Remote{}, false
+	}
+	hi, ok1 := parseHex64(v[3:19])
+	lo, ok2 := parseHex64(v[19:35])
+	span, ok3 := parseHex64(v[36:52])
+	flags, ok4 := parseHex8(v[53:55])
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return Remote{}, false
+	}
+	id := TraceID{Hi: hi, Lo: lo}
+	if id.IsZero() || span == 0 {
+		return Remote{}, false
+	}
+	return Remote{ID: id, SpanID: span, Forced: flags&1 != 0}, true
+}
+
+// ParseTraceID parses a 32-hex trace ID (the /debug/requests ?trace= form).
+func ParseTraceID(v string) (TraceID, bool) {
+	if len(v) != 32 {
+		return TraceID{}, false
+	}
+	hi, ok1 := parseHex64(v[:16])
+	lo, ok2 := parseHex64(v[16:])
+	if !ok1 || !ok2 {
+		return TraceID{}, false
+	}
+	id := TraceID{Hi: hi, Lo: lo}
+	return id, !id.IsZero()
+}
+
+func parseHex64(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		d, ok := hexVal(s[i])
+		if !ok {
+			return 0, false
+		}
+		v = v<<4 | uint64(d)
+	}
+	return v, true
+}
+
+func parseHex8(s string) (uint8, bool) {
+	hi, ok1 := hexVal(s[0])
+	lo, ok2 := hexVal(s[1])
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return hi<<4 | lo, true
+}
+
+func hexVal(c byte) (uint8, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

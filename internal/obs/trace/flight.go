@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SpanSnapshot is one span in a retained trace, with absolute wall-clock
+// nanoseconds so spans from different processes order on one timeline.
+type SpanSnapshot struct {
+	ID            string           `json:"id"`
+	Parent        string           `json:"parent,omitempty"`
+	Name          string           `json:"name"`
+	StartUnixNano int64            `json:"start_unix_nano"`
+	DurationNanos int64            `json:"duration_ns"`
+	Unfinished    bool             `json:"unfinished,omitempty"`
+	Attrs         map[string]int64 `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is one retained request trace as served by
+// GET /debug/requests.
+type TraceSnapshot struct {
+	TraceID       string         `json:"trace_id"`
+	Endpoint      string         `json:"endpoint"`
+	Status        int            `json:"status"`
+	Reason        string         `json:"reason"`
+	StartUnixNano int64          `json:"start_unix_nano"`
+	DurationNanos int64          `json:"duration_ns"`
+	DroppedSpans  uint32         `json:"dropped_spans,omitempty"`
+	Spans         []SpanSnapshot `json:"spans"`
+	// Remote holds backend-side continuations of this trace; only the
+	// router fills it, by fetching each backend's /debug/requests for
+	// this trace ID and stitching the result.
+	Remote []RemoteTrace `json:"remote,omitempty"`
+}
+
+// RemoteTrace is a backend's portion of a stitched cross-process trace.
+type RemoteTrace struct {
+	Backend string           `json:"backend"`
+	Traces  []*TraceSnapshot `json:"traces"`
+}
+
+// DebugRequests is the GET /debug/requests response body.
+type DebugRequests struct {
+	Traces []*TraceSnapshot `json:"traces"`
+}
+
+// FormatTraceID renders id as the 32-hex traceparent form.
+func FormatTraceID(id TraceID) string {
+	return fmt.Sprintf("%016x%016x", id.Hi, id.Lo)
+}
+
+// formatSpanID renders a span ID as 16 hex digits.
+func formatSpanID(id uint64) string {
+	return fmt.Sprintf("%016x", id)
+}
+
+// snapshot copies the trace's span buffer into an immutable TraceSnapshot.
+// This is the single allocating step of the pipeline and runs only for
+// retained traces.
+func (t *Trace) snapshot(reason string, status int) *TraceSnapshot {
+	n := int(t.n.Load())
+	if n > MaxSpans {
+		n = MaxSpans
+	}
+	snap := &TraceSnapshot{
+		TraceID:       FormatTraceID(t.id),
+		Endpoint:      t.endpoint,
+		Status:        status,
+		Reason:        reason,
+		StartUnixNano: t.startWall,
+		DroppedSpans:  t.dropped.Load(),
+		Spans:         make([]SpanSnapshot, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		rec := &t.spans[i]
+		meta := rec.meta.Load()
+		if meta == 0 {
+			continue // claimed but never written (raced with Finish)
+		}
+		name := SpanName(meta & 0xff)
+		parent := int32(meta>>8) - 1
+		start := rec.start.Load()
+		end := rec.end.Load()
+		ss := SpanSnapshot{
+			ID:            formatSpanID(t.spanID(int32(i))),
+			Name:          name.String(),
+			StartUnixNano: t.startWall + start,
+		}
+		switch {
+		case parent >= 0:
+			ss.Parent = formatSpanID(t.spanID(parent))
+		case i == 0 && t.remoteParent != 0:
+			ss.Parent = formatSpanID(t.remoteParent)
+		}
+		if end == 0 {
+			ss.Unfinished = true
+		} else {
+			ss.DurationNanos = end - start
+		}
+		for a := range rec.attrs {
+			packed := rec.attrs[a].Load()
+			if packed == 0 {
+				continue
+			}
+			if ss.Attrs == nil {
+				ss.Attrs = make(map[string]int64, maxAttrs)
+			}
+			ss.Attrs[AttrKey(packed>>56).String()] = int64(packed & attrValueMask)
+		}
+		snap.Spans = append(snap.Spans, ss)
+		if i == 0 {
+			snap.DurationNanos = ss.DurationNanos
+		}
+	}
+	return snap
+}
+
+// flight retains traces per endpoint in three bounded buckets: a sorted
+// K-slowest list, a failed-trace ring, and a sampled/propagated ring.
+// Shards take their mutex only when a trace is actually retained or the
+// debug endpoint reads; the per-request qualification check is one atomic
+// load.
+type flight struct {
+	keepSlow, keepErrors, keepSampled int
+
+	mu     sync.RWMutex
+	shards map[string]*flightShard
+}
+
+type flightShard struct {
+	// slowBar is the duration a new trace must exceed to displace the
+	// fastest member of a full slow list; MaxInt64-avoiding sentinel 0
+	// means "list not full, everything qualifies".
+	slowBar atomic.Int64
+
+	mu      sync.Mutex
+	slow    []*TraceSnapshot // sorted ascending by duration
+	errors  ring
+	sampled ring
+}
+
+type ring struct {
+	buf []*TraceSnapshot
+	pos int
+}
+
+func (rg *ring) add(s *TraceSnapshot) {
+	rg.buf[rg.pos%len(rg.buf)] = s
+	rg.pos++
+}
+
+func (rg *ring) collect(out []*TraceSnapshot) []*TraceSnapshot {
+	for _, s := range rg.buf {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (f *flight) init(o Options) {
+	f.keepSlow = o.KeepSlow
+	f.keepErrors = o.KeepErrors
+	f.keepSampled = o.KeepSampled
+	f.shards = make(map[string]*flightShard)
+}
+
+func (f *flight) shard(endpoint string, create bool) *flightShard {
+	f.mu.RLock()
+	sh := f.shards[endpoint]
+	f.mu.RUnlock()
+	if sh != nil || !create {
+		return sh
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if sh = f.shards[endpoint]; sh == nil {
+		sh = &flightShard{
+			errors:  ring{buf: make([]*TraceSnapshot, f.keepErrors)},
+			sampled: ring{buf: make([]*TraceSnapshot, f.keepSampled)},
+		}
+		f.shards[endpoint] = sh
+	}
+	return sh
+}
+
+// qualifiesSlow reports whether a trace of duration dur would enter the
+// endpoint's K-slowest list. Lock-free: one atomic load against the bar.
+func (f *flight) qualifiesSlow(endpoint string, dur int64) bool {
+	sh := f.shard(endpoint, false)
+	if sh == nil {
+		return true // no shard yet: the list is trivially not full
+	}
+	return dur > sh.slowBar.Load()
+}
+
+func (f *flight) add(s *TraceSnapshot) {
+	sh := f.shard(s.Endpoint, true)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch s.Reason {
+	case ReasonError:
+		sh.errors.add(s)
+	case ReasonSampled, ReasonPropagated:
+		sh.sampled.add(s)
+	default: // ReasonSlow
+		i := sort.Search(len(sh.slow), func(i int) bool {
+			return sh.slow[i].DurationNanos >= s.DurationNanos
+		})
+		sh.slow = append(sh.slow, nil)
+		copy(sh.slow[i+1:], sh.slow[i:])
+		sh.slow[i] = s
+		if len(sh.slow) > f.keepSlow {
+			copy(sh.slow, sh.slow[1:])
+			sh.slow = sh.slow[:f.keepSlow]
+		}
+		if len(sh.slow) == f.keepSlow {
+			sh.slowBar.Store(sh.slow[0].DurationNanos)
+		}
+	}
+}
+
+// collect returns retained traces, filtered by trace ID (zero = all) and
+// endpoint ("" = all), newest first.
+func (f *flight) collect(id TraceID, endpoint string) []*TraceSnapshot {
+	want := ""
+	if !id.IsZero() {
+		want = FormatTraceID(id)
+	}
+	f.mu.RLock()
+	shards := make([]*flightShard, 0, len(f.shards))
+	for ep, sh := range f.shards {
+		if endpoint != "" && ep != endpoint {
+			continue
+		}
+		shards = append(shards, sh)
+	}
+	f.mu.RUnlock()
+
+	var out []*TraceSnapshot
+	for _, sh := range shards {
+		sh.mu.Lock()
+		out = append(out, sh.slow...)
+		out = sh.errors.collect(out)
+		out = sh.sampled.collect(out)
+		sh.mu.Unlock()
+	}
+	if want != "" {
+		kept := out[:0]
+		for _, s := range out {
+			if s.TraceID == want {
+				kept = append(kept, s)
+			}
+		}
+		out = kept
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].StartUnixNano > out[j].StartUnixNano
+	})
+	return out
+}
+
+// Handler serves the flight recorder as GET /debug/requests JSON.
+// Query parameters: trace=<32 hex> filters to one trace ID, endpoint=<ep>
+// to one endpoint.
+func (r *Recorder) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		var id TraceID
+		if q := req.URL.Query().Get("trace"); q != "" {
+			parsed, ok := ParseTraceID(q)
+			if !ok {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			id = parsed
+		}
+		w.Header().Set("Content-Type", "application/json")
+		traces := r.Debug(id, req.URL.Query().Get("endpoint"))
+		if traces == nil {
+			traces = []*TraceSnapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(DebugRequests{Traces: traces})
+	}
+}

@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ingrass/internal/obs"
+)
+
+// Options configures a Recorder. The zero value gets sensible defaults
+// from NewRecorder.
+type Options struct {
+	// SampleRate is the head-sampling probability in [0, 1]: the fraction
+	// of requests retained (and flagged for downstream retention)
+	// regardless of outcome. Errors and tail-latency traces are retained
+	// independently of it. Default 0.01.
+	SampleRate float64
+
+	// SlowThreshold retains any request at least this slow. Default 250ms.
+	SlowThreshold time.Duration
+
+	// SlowThresholdFor overrides SlowThreshold per endpoint.
+	SlowThresholdFor map[string]time.Duration
+
+	// KeepSlow is the per-endpoint capacity of the K-slowest list.
+	// Default 8.
+	KeepSlow int
+
+	// KeepErrors is the per-endpoint failed-trace ring capacity.
+	// Default 16.
+	KeepErrors int
+
+	// KeepSampled is the per-endpoint ring capacity for head-sampled and
+	// propagated traces. Default 16.
+	KeepSampled int
+
+	// Seed fixes the trace-ID and sampling RNG stream for tests. 0 means
+	// "derive from the clock once at construction".
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleRate == 0 {
+		o.SampleRate = 0.01
+	}
+	if o.SampleRate < 0 {
+		o.SampleRate = 0
+	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = 250 * time.Millisecond
+	}
+	if o.KeepSlow == 0 {
+		o.KeepSlow = 8
+	}
+	if o.KeepErrors == 0 {
+		o.KeepErrors = 16
+	}
+	if o.KeepSampled == 0 {
+		o.KeepSampled = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = uint64(time.Now().UnixNano()) | 1
+	}
+	return o
+}
+
+// Remote is an upstream trace reference parsed from a traceparent header.
+type Remote struct {
+	ID     TraceID
+	SpanID uint64
+	// Forced carries the upstream retention hint (traceparent flag bit 0):
+	// the upstream decided to retain this trace, so we must too, or the
+	// stitched cross-process view would have holes.
+	Forced bool
+}
+
+// Retention reasons, in decision order.
+const (
+	ReasonError      = "error"
+	ReasonPropagated = "propagated"
+	ReasonSampled    = "sampled"
+	ReasonSlow       = "slow"
+)
+
+// Recorder owns the trace pool, the sampling policy, and the flight
+// recorder. A nil *Recorder is valid and records nothing.
+type Recorder struct {
+	opts Options
+
+	pool sync.Pool
+
+	// idCtr feeds trace-ID generation; rngState feeds the head-sampling
+	// draw. Both lock-free.
+	idCtr    atomic.Uint64
+	rngState atomic.Uint64
+	// sampleBar is SampleRate scaled to uint64 space: a draw below the
+	// bar is sampled. 0 disables head sampling.
+	sampleBar uint64
+
+	flight flight
+
+	// Metrics (nil-safe until RegisterMetrics).
+	started      *obs.Counter
+	retained     [4]*obs.Counter // indexed like reasonIndex
+	droppedSpans *obs.Counter
+}
+
+// NewRecorder builds a Recorder with opts (zero fields defaulted).
+func NewRecorder(opts Options) *Recorder {
+	o := opts.withDefaults()
+	r := &Recorder{opts: o}
+	if o.SampleRate >= 1 {
+		r.sampleBar = ^uint64(0)
+	} else {
+		r.sampleBar = uint64(o.SampleRate * float64(1<<63) * 2)
+	}
+	r.idCtr.Store(splitmix64(o.Seed))
+	r.rngState.Store(splitmix64(o.Seed^0xd1b54a32d192ed03) | 1)
+	r.pool.New = func() any { return &Trace{rec: r} }
+	r.flight.init(o)
+	return r
+}
+
+// RegisterMetrics registers the recorder's counters in reg.
+func (r *Recorder) RegisterMetrics(reg *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.started = reg.Counter("ingrass_trace_started_total",
+		"Requests that recorded a trace")
+	for i, reason := range []string{ReasonError, ReasonPropagated, ReasonSampled, ReasonSlow} {
+		r.retained[i] = reg.Counter("ingrass_trace_retained_total",
+			"Traces retained in the flight recorder by reason",
+			obs.Label{Key: "reason", Value: reason})
+	}
+	r.droppedSpans = reg.Counter("ingrass_trace_dropped_spans_total",
+		"Spans dropped because a trace's span buffer overflowed")
+}
+
+func reasonIndex(reason string) int {
+	switch reason {
+	case ReasonError:
+		return 0
+	case ReasonPropagated:
+		return 1
+	case ReasonSampled:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// rand64 is a lock-free xorshift step over shared state. Contention can
+// duplicate draws under races; sampling does not need independence that
+// strong.
+func (r *Recorder) rand64() uint64 {
+	x := r.rngState.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rngState.Store(x)
+	return splitmix64(x)
+}
+
+// newTraceID derives a fresh 128-bit ID from the counter stream.
+func (r *Recorder) newTraceID() TraceID {
+	c := r.idCtr.Add(1)
+	id := TraceID{Hi: splitmix64(c), Lo: splitmix64(c ^ 0x6a09e667f3bcc909)}
+	if id.Hi == 0 {
+		id.Hi = 1
+	}
+	if id.Lo == 0 {
+		id.Lo = 1
+	}
+	return id
+}
+
+// StartRequest begins a trace for one request on endpoint, continuing
+// remote if it is non-zero. The returned Span is the root; pass it to
+// Finish exactly once. A nil Recorder returns the inert zero Span.
+func (r *Recorder) StartRequest(endpoint string, remote Remote) Span {
+	if r == nil {
+		return Span{}
+	}
+	t := r.pool.Get().(*Trace)
+	t.endpoint = endpoint
+	t.spanSeed = r.rand64()
+	t.startWall = time.Now().UnixNano()
+	t.start = time.Now()
+	t.n.Store(0)
+	t.dropped.Store(0)
+	if remote.ID.IsZero() {
+		t.id = r.newTraceID()
+		t.remoteParent = 0
+		t.propagated = false
+		t.forced = r.sampleBar != 0 && r.rand64() < r.sampleBar
+	} else {
+		t.id = remote.ID
+		t.remoteParent = remote.SpanID
+		t.propagated = remote.Forced
+		t.forced = remote.Forced || (r.sampleBar != 0 && r.rand64() < r.sampleBar)
+	}
+	if r.started != nil {
+		r.started.Inc()
+	}
+	return t.startSpan(SpanHTTPRequest, -1, 0)
+}
+
+// slowThreshold returns the retention latency bar for endpoint.
+func (r *Recorder) slowThreshold(endpoint string) time.Duration {
+	if d, ok := r.opts.SlowThresholdFor[endpoint]; ok {
+		return d
+	}
+	return r.opts.SlowThreshold
+}
+
+// Finish ends the root span, applies the retention policy, and recycles
+// the trace buffer. It returns the retained snapshot, or nil when the
+// trace was discarded. status is the HTTP status of the response.
+func (r *Recorder) Finish(root Span, status int) *TraceSnapshot {
+	if r == nil || !root.live() || root.idx != 0 {
+		return nil
+	}
+	t := root.t
+	root.SetAttr(AttrStatus, int64(status))
+	root.End()
+	dur := time.Duration(t.spans[0].end.Load())
+
+	reason := ""
+	switch {
+	case status >= 400:
+		reason = ReasonError
+	case t.propagated:
+		reason = ReasonPropagated
+	case t.forced:
+		reason = ReasonSampled
+	case dur >= r.slowThreshold(t.endpoint):
+		reason = ReasonSlow
+	}
+
+	var snap *TraceSnapshot
+	if reason != "" || r.flight.qualifiesSlow(t.endpoint, int64(dur)) {
+		if reason == "" {
+			reason = ReasonSlow
+		}
+		snap = t.snapshot(reason, status)
+		r.flight.add(snap)
+		if c := r.retained[reasonIndex(reason)]; c != nil {
+			c.Inc()
+		}
+	}
+	if d := t.dropped.Load(); d != 0 && r.droppedSpans != nil {
+		r.droppedSpans.Add(uint64(d))
+	}
+
+	// Invalidate outstanding Span handles, then recycle. A straggler
+	// holding a handle from the old epoch will fail its live() check.
+	t.epoch.Add(1)
+	r.pool.Put(t)
+	return snap
+}
+
+// Debug returns the flight recorder's current contents, optionally
+// filtered by trace ID (zero = all) and endpoint ("" = all).
+func (r *Recorder) Debug(id TraceID, endpoint string) []*TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	return r.flight.collect(id, endpoint)
+}

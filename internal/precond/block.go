@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ingrass/internal/obs/trace"
 	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
@@ -31,6 +32,15 @@ type blockSolveState struct {
 	innerRHS [][]float64 // header arena for each preconditioner application
 	innerDst [][]float64
 	innerOut []sparse.ColumnResult
+
+	// spans holds one outer-solve span per original column; inner-solve
+	// children are attributed through the active-column mapping the outer
+	// solver pushes via SetActiveColumns. traced gates the bookkeeping so
+	// untraced blocks pay one boolean check per application.
+	spans      [sparse.MaxBlockWidth]trace.Span
+	activeCols [sparse.MaxBlockWidth]int
+	activeN    int
+	traced     bool
 }
 
 // headers returns arena resliced to m entries, reusing its backing storage.
@@ -49,11 +59,31 @@ func headers(arena *[][]float64, m int) [][]float64 {
 // blocked and independent solves agree column-for-column; convergence
 // failures of the truncated solve are expected and benign, exactly as in
 // the single-vector path.
+// SetActiveColumns records which original columns the next PrecondBlock
+// application covers (sparse.ActiveColumnsAware).
+func (st *blockSolveState) SetActiveColumns(cols []int) {
+	if !st.traced {
+		return
+	}
+	st.activeN = copy(st.activeCols[:], cols)
+}
+
 func (st *blockSolveState) PrecondBlock(dst, src [][]float64) {
 	st.applications++
+	var innerSpans [sparse.MaxBlockWidth]trace.Span
+	m := len(src)
+	if st.traced && st.activeN == m {
+		for i := 0; i < m; i++ {
+			innerSpans[i] = st.spans[st.activeCols[i]].StartChild(trace.SpanSolveInner)
+		}
+		defer func() {
+			for i := 0; i < m; i++ {
+				innerSpans[i].End()
+			}
+		}()
+	}
 	mark := st.ws.Mark()
 	defer st.ws.Release(mark)
-	m := len(src)
 	rhs := headers(&st.innerRHS, m)
 	for j := 0; j < m; j++ {
 		rhs[j] = st.ws.Take()
@@ -83,6 +113,9 @@ func (bp *blockStatePool) get() *blockSolveState { return bp.p.Get().(*blockSolv
 func (bp *blockStatePool) put(st *blockSolveState) {
 	st.ctx = nil
 	st.callerProj.Inner = nil
+	st.spans = [sparse.MaxBlockWidth]trace.Span{}
+	st.activeN = 0
+	st.traced = false
 	bp.p.Put(st)
 }
 
@@ -132,6 +165,18 @@ func (f *Factorization) SolveBlock(ctx context.Context, sys sparse.Operator, xs,
 	st.ctx = ctx
 	st.inner = eff.Inner()
 	st.applications = 0
+	st.traced = false
+	st.activeN = 0
+	for j := 0; j < w; j++ {
+		c := ctx
+		if colCtx != nil && colCtx[j] != nil {
+			c = colCtx[j]
+		}
+		st.spans[j] = trace.FromContext(c).StartChild(trace.SpanSolveOuter)
+		if st.spans[j].Tracing() {
+			st.traced = true
+		}
+	}
 
 	op, ok := sys.(*sparse.ProjectedOperator)
 	if !ok {
@@ -153,6 +198,9 @@ func (f *Factorization) SolveBlock(ctx context.Context, sys sparse.Operator, xs,
 	}, st, st.ws, &st.outerSC, eff)
 	for j := 0; j < w; j++ {
 		vecmath.CenterMean(xs[j])
+		st.spans[j].SetAttr(trace.AttrIterations, int64(out[j].Iterations))
+		st.spans[j].SetAttr(trace.AttrInnerUses, int64(st.applications))
+		st.spans[j].End()
 	}
 	return st.applications, err
 }

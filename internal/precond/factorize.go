@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ingrass/internal/graph"
+	"ingrass/internal/obs/trace"
 	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
@@ -103,6 +104,7 @@ func (f *Factorization) Solve(ctx context.Context, sys sparse.Operator, x, b []f
 	st.ctx = ctx
 	st.inner = eff.Inner()
 	st.applications = 0
+	st.span = trace.FromContext(ctx).StartChild(trace.SpanSolveOuter)
 
 	op, ok := sys.(*sparse.ProjectedOperator)
 	if !ok {
@@ -118,6 +120,9 @@ func (f *Factorization) Solve(ctx context.Context, sys sparse.Operator, x, b []f
 	vecmath.Zero(x)
 	res, err := sparse.FlexibleCG(ctx, op, x, rhs, st, st.ws, eff)
 	vecmath.CenterMean(x)
+	st.span.SetAttr(trace.AttrIterations, int64(res.Iterations))
+	st.span.SetAttr(trace.AttrInnerUses, int64(st.applications))
+	st.span.End()
 	return SolveResult{Outer: res, InnerUses: st.applications}, err
 }
 

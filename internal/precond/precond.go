@@ -17,6 +17,7 @@ import (
 	"context"
 	"sync"
 
+	"ingrass/internal/obs/trace"
 	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
@@ -42,6 +43,10 @@ type solveState struct {
 	// callerProj is a reusable projection wrapper for system operators
 	// that arrive unprojected, avoiding a per-solve allocation.
 	callerProj sparse.ProjectedOperator
+	// span is the request's outer-solve span; each preconditioner
+	// application records an inner-solve child under it. Inert (all span
+	// operations no-op) when the request carries no trace.
+	span trace.Span
 }
 
 // Precond computes dst ~= L_H^+ src (mean-centered) by a truncated inner
@@ -52,6 +57,7 @@ type solveState struct {
 // aborts.
 func (st *solveState) Precond(dst, src []float64) {
 	st.applications++
+	defer st.span.StartChild(trace.SpanSolveInner).End()
 	mark := st.ws.Mark()
 	defer st.ws.Release(mark)
 	rhs := st.ws.Take()
@@ -73,5 +79,6 @@ func (sp *statePool) get() *solveState { return sp.p.Get().(*solveState) }
 func (sp *statePool) put(st *solveState) {
 	st.ctx = nil
 	st.callerProj.Inner = nil
+	st.span = trace.Span{}
 	sp.p.Put(st)
 }

@@ -2,12 +2,16 @@ package repl
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ingrass/internal/obs"
+	"ingrass/internal/obs/trace"
 )
 
 // RouterOptions configures the read-fanout router.
@@ -26,6 +30,14 @@ type RouterOptions struct {
 	MaxBodyBytes int64
 	// Client overrides the forwarding HTTP client (tests).
 	Client *http.Client
+	// Obs, when set, registers router metrics (per-backend request/
+	// failure/ejection counters and forward-latency histograms, plus the
+	// retry counter) and serves their exposition at GET /metrics.
+	Obs *obs.Registry
+	// Tracer, when set, roots a client span per routed request, propagates
+	// the trace downstream via the traceparent header, and serves
+	// GET /debug/requests with backend-side continuations stitched in.
+	Tracer *trace.Recorder
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -47,12 +59,15 @@ func (o RouterOptions) withDefaults() RouterOptions {
 // backendState is the router's live view of one upstream.
 type backendState struct {
 	url          string
+	idx          int          // 0 = primary, 1.. = replicas (span backend attr)
 	role         atomic.Value // string, as self-reported by /healthz
 	healthy      atomic.Bool
 	ready        atomic.Bool
 	ejectedUntil atomic.Int64 // UnixNano; passive ejection window
 	requests     atomic.Uint64
 	failures     atomic.Uint64
+	ejections    atomic.Uint64
+	dur          *obs.Histogram // forward latency (nil without Obs)
 }
 
 func (b *backendState) ejected() bool {
@@ -91,10 +106,42 @@ func NewRouter(opts RouterOptions) *Router {
 		primary: &backendState{url: opts.Primary},
 		quit:    make(chan struct{}),
 	}
-	for _, u := range opts.Replicas {
-		rt.replicas = append(rt.replicas, &backendState{url: u})
+	for i, u := range opts.Replicas {
+		rt.replicas = append(rt.replicas, &backendState{url: u, idx: i + 1})
+	}
+	if reg := rt.opts.Obs; reg != nil {
+		rt.registerMetrics(reg)
 	}
 	return rt
+}
+
+// registerMetrics bridges the router's per-backend atomics into reg. The
+// backend label vocabulary is the fixed upstream list, closed at
+// construction, so cardinality is bounded by the topology.
+func (rt *Router) registerMetrics(reg *obs.Registry) {
+	for _, b := range rt.backends() {
+		b := b
+		lbl := obs.Label{Key: "backend", Value: b.url}
+		reg.CounterFunc("ingrass_route_requests_total",
+			"Requests forwarded per backend",
+			func() float64 { return float64(b.requests.Load()) }, lbl)
+		reg.CounterFunc("ingrass_route_failures_total",
+			"Forward attempts that failed per backend",
+			func() float64 { return float64(b.failures.Load()) }, lbl)
+		reg.CounterFunc("ingrass_route_ejections_total",
+			"Passive health ejections per backend",
+			func() float64 { return float64(b.ejections.Load()) }, lbl)
+		b.dur = reg.Histogram("ingrass_route_backend_duration_seconds",
+			"Forwarded request latency per backend", obs.ScaleSeconds, lbl)
+	}
+	reg.CounterFunc("ingrass_route_retries_total",
+		"Requests retried on a different backend",
+		func() float64 { return float64(rt.retries.Load()) })
+}
+
+// backends lists all upstreams, primary first.
+func (rt *Router) backends() []*backendState {
+	return append([]*backendState{rt.primary}, rt.replicas...)
 }
 
 // Start runs one synchronous health pass (so the first request already has
@@ -195,12 +242,17 @@ func (rt *Router) pickReplica(exclude *backendState) *backendState {
 
 func (rt *Router) eject(b *backendState) {
 	b.failures.Add(1)
+	b.ejections.Add(1)
 	b.ejectedUntil.Store(time.Now().Add(rt.opts.EjectFor).UnixNano())
 }
 
 // forward sends the request to backend b and returns the response. body may
-// be nil. A nil response with nil error never happens.
-func (rt *Router) forward(r *http.Request, b *backendState, body []byte) (*http.Response, error) {
+// be nil. A nil response with nil error never happens. When root is a live
+// span the attempt gets a router_client child span and the chosen backend
+// receives the trace via the traceparent header — the backend's own root
+// span then parents under this client span, stitching the cross-process
+// trace.
+func (rt *Router) forward(r *http.Request, b *backendState, body []byte, root trace.Span) (*http.Response, error) {
 	b.requests.Add(1)
 	u := b.url + r.URL.RequestURI()
 	var rd io.Reader
@@ -212,7 +264,19 @@ func (rt *Router) forward(r *http.Request, b *backendState, body []byte) (*http.
 		return nil, err
 	}
 	req.Header = r.Header.Clone()
-	return rt.opts.Client.Do(req)
+	cs := root.StartChild(trace.SpanRouterClient)
+	cs.SetAttr(trace.AttrBackend, int64(b.idx))
+	if tp := cs.Traceparent(); tp != "" {
+		req.Header.Set(trace.TraceparentHeader, tp)
+	}
+	start := time.Now()
+	resp, err := rt.opts.Client.Do(req)
+	b.dur.ObserveSince(start)
+	if err == nil {
+		cs.SetAttr(trace.AttrStatus, int64(resp.StatusCode))
+	}
+	cs.End()
+	return resp, err
 }
 
 // copyResponse relays resp to w.
@@ -234,12 +298,87 @@ func retryableStatus(code int) bool {
 	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable
 }
 
+// routeEndpoint classifies a request path into the closed endpoint
+// vocabulary the flight recorder shards by (bounding its cardinality no
+// matter what paths clients send).
+func routeEndpoint(r *http.Request) string {
+	switch r.URL.Path {
+	case "/solve":
+		return "solve"
+	case "/solve/batch":
+		return "solve_batch"
+	case "/resistance":
+		return "resistance"
+	case "/resistance/batch":
+		return "resistance_batch"
+	case "/edges":
+		if r.Method == http.MethodDelete {
+			return "edges_delete"
+		}
+		return "edges_add"
+	case "/resparsify":
+		return "resparsify"
+	case "/sparsifier":
+		return "sparsifier"
+	case "/stats":
+		return "stats"
+	}
+	return "other"
+}
+
+// routerStatusWriter captures the final status for trace retention while
+// forwarding Flush (the /repl/segments long-poll streams frames).
+type routerStatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *routerStatusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *routerStatusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/healthz" && r.Method == http.MethodGet {
-		rt.handleHealthz(w, r)
-		return
+	if r.Method == http.MethodGet {
+		switch r.URL.Path {
+		case "/healthz":
+			rt.handleHealthz(w, r)
+			return
+		case "/metrics":
+			if reg := rt.opts.Obs; reg != nil {
+				w.Header().Set("Content-Type", obs.ExpositionContentType)
+				_ = reg.WritePrometheus(w)
+				return
+			}
+		case "/debug/requests":
+			if rt.opts.Tracer != nil {
+				rt.handleDebugRequests(w, r)
+				return
+			}
+		}
 	}
 
+	root := trace.Span{}
+	if rt.opts.Tracer != nil {
+		remote, _ := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+		root = rt.opts.Tracer.StartRequest(routeEndpoint(r), remote)
+	}
+	sw := &routerStatusWriter{ResponseWriter: w, status: http.StatusOK}
+	rt.route(sw, r, root)
+	if rt.opts.Tracer != nil {
+		rt.opts.Tracer.Finish(root, sw.status)
+	}
+}
+
+// route forwards one request: writes to the primary once, reads across
+// replicas with one retry on a different backend.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, root trace.Span) {
 	// Buffer the body so a failed read attempt can be replayed elsewhere.
 	var body []byte
 	if r.Body != nil && r.Body != http.NoBody {
@@ -259,7 +398,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if isWrite(r) {
 		// Writes go to the primary, once: retrying a non-idempotent write
 		// through a proxy risks double application.
-		resp, err := rt.forward(r, rt.primary, body)
+		resp, err := rt.forward(r, rt.primary, body, root)
 		if err != nil {
 			writeJSONError(w, http.StatusBadGateway, "primary unreachable: "+err.Error())
 			return
@@ -272,7 +411,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if first == nil {
 		first = rt.primary
 	}
-	resp, err := rt.forward(r, first, body)
+	resp, err := rt.forward(r, first, body, root)
 	if err == nil && !retryableStatus(resp.StatusCode) {
 		copyResponse(w, resp)
 		return
@@ -294,7 +433,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadGateway, "no backend available")
 		return
 	}
-	resp2, err2 := rt.forward(r, second, body)
+	resp2, err2 := rt.forward(r, second, body, root)
 	if err2 != nil {
 		if second != rt.primary {
 			rt.eject(second)
@@ -303,6 +442,65 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	copyResponse(w, resp2)
+}
+
+// handleDebugRequests serves the router's flight recorder with each
+// trace's backend-side continuation stitched in: for every retained trace
+// the router asks each upstream's /debug/requests for that trace ID and
+// embeds whatever the backend retained — one request, one stitched
+// cross-process trace.
+func (rt *Router) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	var id trace.TraceID
+	if q := r.URL.Query().Get("trace"); q != "" {
+		parsed, ok := trace.ParseTraceID(q)
+		if !ok {
+			writeJSONError(w, http.StatusBadRequest, "bad trace id")
+			return
+		}
+		id = parsed
+	}
+	local := rt.opts.Tracer.Debug(id, r.URL.Query().Get("endpoint"))
+	out := make([]*trace.TraceSnapshot, 0, len(local))
+	backends := rt.backends()
+	for _, t := range local {
+		// Shallow copy: the stored snapshot is shared with the flight
+		// recorder and must not grow a Remote list per read.
+		tc := *t
+		tc.Remote = nil
+		for _, b := range backends {
+			if traces := rt.fetchRemoteTrace(r.Context(), b, tc.TraceID); len(traces) > 0 {
+				tc.Remote = append(tc.Remote, trace.RemoteTrace{Backend: b.url, Traces: traces})
+			}
+		}
+		out = append(out, &tc)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(trace.DebugRequests{Traces: out})
+}
+
+// fetchRemoteTrace asks backend b for its retained portion of trace id.
+// Best-effort: any failure returns nil and the stitched view simply omits
+// that backend.
+func (rt *Router) fetchRemoteTrace(ctx context.Context, b *backendState, id string) []*trace.TraceSnapshot {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/debug/requests?trace="+id, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var dr trace.DebugRequests
+	if json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&dr) != nil {
+		return nil
+	}
+	return dr.Traces
 }
 
 // routerBackend is one upstream's entry in the router's /healthz body.

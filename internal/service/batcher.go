@@ -8,6 +8,7 @@ import (
 
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
+	"ingrass/internal/obs/trace"
 	"ingrass/internal/wal"
 )
 
@@ -75,6 +76,9 @@ type request struct {
 	edges []graph.Edge
 	basis *core.SetupBasis // opMaintain only
 	p     *Pending
+	// span is the submitting request's trace span (inert when untraced);
+	// the flush hangs WAL append/fsync spans under it.
+	span trace.Span
 }
 
 // run is the single writer goroutine: it drains the request channel,
@@ -273,7 +277,24 @@ func (e *Engine) flush(batch []*request) {
 	// WAL-before-publish: log the applied batch, then make it visible.
 	var walErr error
 	if walRec != nil {
-		n, err := e.opts.Store.Append(*walRec)
+		appendStart := time.Now()
+		n, syncDur, err := e.opts.Store.AppendTimed(*walRec)
+		appendEnd := time.Now()
+		// One append durably covers every coalesced request: each traced
+		// request gets the append (and its fsync share) in its own trace.
+		for _, r := range batch {
+			if !r.span.Tracing() {
+				continue
+			}
+			as := r.span.StartChildSince(trace.SpanWALAppend, appendStart)
+			as.SetAttr(trace.AttrBytes, int64(n))
+			as.SetAttr(trace.AttrGeneration, int64(walRec.Gen))
+			if syncDur > 0 {
+				fs := as.StartChildSince(trace.SpanWALFsync, appendEnd.Add(-syncDur))
+				fs.EndAt(appendEnd)
+			}
+			as.EndAt(appendEnd)
+		}
 		if err != nil {
 			// Sticky: a gapped log must not grow (replay would be wrong).
 			// The next successful Checkpoint covers the gap and re-arms.

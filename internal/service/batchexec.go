@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ingrass/internal/batch"
+	"ingrass/internal/obs/trace"
 	"ingrass/internal/solver"
 	"ingrass/internal/sparse"
 	"ingrass/internal/vecmath"
@@ -24,6 +26,7 @@ type groupScratch struct {
 	xs, bs [][]float64
 	cctx   []context.Context
 	out    []sparse.ColumnResult
+	spans  []trace.Span
 }
 
 func (gs *groupScratch) ensure(w int) {
@@ -32,9 +35,11 @@ func (gs *groupScratch) ensure(w int) {
 		gs.bs = make([][]float64, w)
 		gs.cctx = make([]context.Context, w)
 		gs.out = make([]sparse.ColumnResult, w)
+		gs.spans = make([]trace.Span, w)
 	}
 	gs.xs, gs.bs = gs.xs[:w], gs.bs[:w]
 	gs.cctx, gs.out = gs.cctx[:w], gs.out[:w]
+	gs.spans = gs.spans[:w]
 }
 
 var groupScratchPool = sync.Pool{New: func() any { return &groupScratch{} }}
@@ -58,8 +63,23 @@ func (e *Engine) execGroup(snap *Snapshot, reqs []*batch.Req) {
 			pool.Put(ws)
 		}
 	}()
+	// Traced requests get a batch-group span backdated to their Submit
+	// time, so the span covers queue wait and the blocked execution; the
+	// column's context is re-wrapped so the outer-solve span nests under
+	// it. Untraced requests (the common case when sampling is off) skip
+	// all of this — FromContext on their context yields the inert Span.
+	execStart := time.Now()
 	for i, r := range reqs {
 		gs.cctx[i] = r.Ctx
+		gs.spans[i] = trace.Span{}
+		if parent := trace.FromContext(r.Ctx); parent.Tracing() {
+			g := parent.StartChildSince(trace.SpanBatchGroup, r.SubmittedAt())
+			g.SetAttr(trace.AttrWidth, int64(w))
+			g.SetAttr(trace.AttrQueueWaitNS, int64(execStart.Sub(r.SubmittedAt())))
+			g.SetAttr(trace.AttrGeneration, int64(snap.Gen))
+			gs.spans[i] = g
+			gs.cctx[i] = trace.NewContext(r.Ctx, g)
+		}
 		if r.Kind == batch.KindPair {
 			if ws == nil {
 				if err := snap.ensureFactorized(); err != nil {
@@ -84,6 +104,9 @@ func (e *Engine) execGroup(snap *Snapshot, reqs []*batch.Req) {
 	// The group context is deliberately background: individual cancellations
 	// mask their own column, and a group must outlive any one requester.
 	bst, err := snap.SolveBlockInto(context.Background(), gs.xs, gs.bs, gs.out, gs.cctx, reqs[0].Opts)
+	for i := range reqs {
+		gs.spans[i].End()
+	}
 	for i, r := range reqs {
 		if err != nil {
 			r.Err = err

@@ -40,6 +40,7 @@ import (
 	"ingrass/internal/core"
 	"ingrass/internal/graph"
 	"ingrass/internal/obs"
+	"ingrass/internal/obs/trace"
 	"ingrass/internal/solver"
 	"ingrass/internal/wal"
 )
@@ -290,7 +291,7 @@ func (e *Engine) CoreStats() core.Stats {
 	return e.sp.Stats()
 }
 
-func (e *Engine) enqueue(kind opKind, edges []graph.Edge) (*Pending, error) {
+func (e *Engine) enqueue(kind opKind, edges []graph.Edge, span trace.Span) (*Pending, error) {
 	if e.opts.ReadOnly {
 		return nil, ErrReadOnly
 	}
@@ -299,7 +300,7 @@ func (e *Engine) enqueue(kind opKind, edges []graph.Edge) (*Pending, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
-	r := &request{kind: kind, edges: edges, p: newPending()}
+	r := &request{kind: kind, edges: edges, p: newPending(), span: span}
 	e.stats.writeRequests.Add(1)
 	e.stats.queueDepth.Add(1)
 	select {
@@ -317,7 +318,7 @@ func (e *Engine) AddAsync(edges []graph.Edge) (*Pending, error) {
 	if err := validateAdds(edges, e.nodeCount()); err != nil {
 		return nil, err
 	}
-	return e.enqueue(opAdd, edges)
+	return e.enqueue(opAdd, edges, trace.Span{})
 }
 
 // DeleteAsync enqueues a deletion request (edges identified by endpoints).
@@ -325,12 +326,17 @@ func (e *Engine) DeleteAsync(edges []graph.Edge) (*Pending, error) {
 	if len(edges) == 0 {
 		return nil, errEmptyBatch
 	}
-	return e.enqueue(opDelete, edges)
+	return e.enqueue(opDelete, edges, trace.Span{})
 }
 
-// Add enqueues an insertion and waits for its flush.
+// Add enqueues an insertion and waits for its flush. A span carried by ctx
+// rides into the batcher so the flush can attribute WAL append/fsync spans
+// to the request's trace.
 func (e *Engine) Add(ctx context.Context, edges []graph.Edge) (WriteResult, error) {
-	p, err := e.AddAsync(edges)
+	if err := validateAdds(edges, e.nodeCount()); err != nil {
+		return WriteResult{}, err
+	}
+	p, err := e.enqueue(opAdd, edges, trace.FromContext(ctx))
 	if err != nil {
 		return WriteResult{}, err
 	}
@@ -339,7 +345,10 @@ func (e *Engine) Add(ctx context.Context, edges []graph.Edge) (WriteResult, erro
 
 // Delete enqueues a deletion and waits for its flush.
 func (e *Engine) Delete(ctx context.Context, edges []graph.Edge) (WriteResult, error) {
-	p, err := e.DeleteAsync(edges)
+	if len(edges) == 0 {
+		return WriteResult{}, errEmptyBatch
+	}
+	p, err := e.enqueue(opDelete, edges, trace.FromContext(ctx))
 	if err != nil {
 		return WriteResult{}, err
 	}
@@ -349,7 +358,7 @@ func (e *Engine) Delete(ctx context.Context, edges []graph.Edge) (WriteResult, e
 // Flush enqueues a barrier and waits until every write enqueued before it
 // has been applied and published.
 func (e *Engine) Flush(ctx context.Context) error {
-	p, err := e.enqueue(opBarrier, nil)
+	p, err := e.enqueue(opBarrier, nil, trace.Span{})
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,18 @@ type BlockPreconditioner interface {
 	PrecondBlock(dst, src [][]float64)
 }
 
+// ActiveColumnsAware is optionally implemented by a BlockPreconditioner
+// that needs to know which original columns the next PrecondBlock
+// application covers — the active set is compacted as columns converge or
+// cancel, so positional indices alone lose column identity. The blocked
+// solvers call SetActiveColumns immediately before each application with
+// the original column index of each active position; the slice is only
+// valid for the duration of that application. precond's blocked state uses
+// this to attribute inner-solve trace spans to the right request.
+type ActiveColumnsAware interface {
+	SetActiveColumns(cols []int)
+}
+
 // ColumnResult is one column's outcome of a blocked solve: the usual CG
 // stats plus the column's terminal error — nil on convergence,
 // ErrNoConvergence on an exhausted budget, a solver.ErrCancelled-wrapped
@@ -260,7 +272,11 @@ func BlockCG(ctx context.Context, a Operator, spec BlockSpec, pre BlockPrecondit
 		return nil
 	}
 
+	colsAware, _ := pre.(ActiveColumnsAware)
 	if pre != nil {
+		if colsAware != nil {
+			colsAware.SetActiveColumns(sc.col[:m])
+		}
 		pre.PrecondBlock(sc.z[:m], sc.r[:m])
 		kp.DotNormMulti(sc.z[:m], sc.r[:m], sc.rz[:m], sc.rnSq[:m])
 	} else {
@@ -320,6 +336,9 @@ func BlockCG(ctx context.Context, a Operator, spec BlockSpec, pre BlockPrecondit
 			break
 		}
 		if pre != nil {
+			if colsAware != nil {
+				colsAware.SetActiveColumns(sc.col[:m])
+			}
 			pre.PrecondBlock(sc.z[:m], sc.r[:m])
 			kp.DotMulti(sc.r[:m], sc.z[:m], sc.s1[:m])
 		} else {
@@ -373,8 +392,12 @@ func BlockFlexibleCG(ctx context.Context, a Operator, spec BlockSpec, pre BlockP
 	}
 	sc.ensure(w)
 
-	applyPre := func(dst, src [][]float64) {
+	colsAware, _ := pre.(ActiveColumnsAware)
+	applyPre := func(dst, src [][]float64, cols []int) {
 		if pre != nil {
+			if colsAware != nil {
+				colsAware.SetActiveColumns(cols)
+			}
 			pre.PrecondBlock(dst, src)
 		} else {
 			for j := range dst {
@@ -391,7 +414,7 @@ func BlockFlexibleCG(ctx context.Context, a Operator, spec BlockSpec, pre BlockP
 		return nil
 	}
 
-	applyPre(sc.z[:m], sc.r[:m])
+	applyPre(sc.z[:m], sc.r[:m], sc.col[:m])
 	for i := 0; i < m; i++ {
 		copy(sc.p[i], sc.z[i])
 	}
@@ -454,7 +477,7 @@ func BlockFlexibleCG(ctx context.Context, a Operator, spec BlockSpec, pre BlockP
 		if m == 0 {
 			break
 		}
-		applyPre(sc.z[:m], sc.r[:m])
+		applyPre(sc.z[:m], sc.r[:m], sc.col[:m])
 		// Polak-Ribiere per column: r - rPrev = -alpha*ap by construction,
 		// so beta = -alpha * z'ap / (z_prev' r_prev) — one fused pass yields
 		// both products (mirrors FlexibleCG's reduction).
